@@ -1,0 +1,241 @@
+// Command histserve exposes a histcube over TCP with a line-oriented
+// text protocol, turning the append-only cube into a tiny aggregation
+// service for streaming sources (the data-warehouse loading scenario
+// of the paper's introduction).
+//
+// Usage:
+//
+//	histserve -addr :7070 -dims 16,16 -op sum [-ooo]
+//
+// Protocol (one request per line, one response per line):
+//
+//	INS <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
+//	DEL <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
+//	QRY <tlo> <thi> <l1> ... <ld> <u1> ... <ud> -> <number> | ERR <msg>
+//	STATS                              -> slices=<n> incomplete=<n> pending=<n>
+//	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
+//	QUIT                               -> BYE (closes the connection)
+//
+// Start with -load <path> to resume from a snapshot written by SAVE
+// (the -dims and -op flags must match the snapshot's configuration).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"histcube/internal/agg"
+	"histcube/internal/core"
+)
+
+type server struct {
+	mu   sync.Mutex
+	cube *core.Cube
+	dims int
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		dimsArg = flag.String("dims", "16,16", "comma-separated non-time dimension sizes")
+		opArg   = flag.String("op", "sum", "aggregate operator: sum, count, avg")
+		ooo     = flag.Bool("ooo", false, "buffer out-of-order updates instead of rejecting them")
+		load    = flag.String("load", "", "resume from a snapshot written by the SAVE command")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*dimsArg, *opArg, *ooo)
+	if err != nil {
+		log.Fatalf("histserve: %v", err)
+	}
+	if *load != "" {
+		if err := srv.loadSnapshot(*load); err != nil {
+			log.Fatalf("histserve: loading %s: %v", *load, err)
+		}
+		log.Printf("histserve: resumed from %s", *load)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("histserve: %v", err)
+	}
+	log.Printf("histserve: listening on %s (%d dims, %s)", ln.Addr(), srv.dims, *opArg)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("histserve: accept: %v", err)
+			return
+		}
+		go srv.handle(conn)
+	}
+}
+
+func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
+	var ds []core.Dim
+	for i, part := range strings.Split(dimsArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q: %w", part, err)
+		}
+		ds = append(ds, core.Dim{Name: fmt.Sprintf("d%d", i), Size: n})
+	}
+	var op agg.Operator
+	switch opArg {
+	case "sum":
+		op = agg.Sum
+	case "count":
+		op = agg.Count
+	case "avg":
+		op = agg.Average
+	default:
+		return nil, fmt.Errorf("unknown operator %q", opArg)
+	}
+	cube, err := core.New(core.Config{Dims: ds, Operator: op, BufferOutOfOrder: ooo})
+	if err != nil {
+		return nil, err
+	}
+	return &server{cube: cube, dims: len(ds)}, nil
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.dispatch(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+func (s *server) dispatch(line string) (string, bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "QUIT":
+		return "BYE", true
+	case "STATS":
+		s.mu.Lock()
+		st := s.cube.Stats()
+		s.mu.Unlock()
+		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d",
+			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates), false
+	case "SAVE":
+		if len(fields) != 2 {
+			return "ERR SAVE needs a file path", false
+		}
+		if err := s.saveSnapshot(fields[1]); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "INS", "DEL":
+		// INS <time> <c1>..<cd> <value>
+		if len(fields) != 1+1+s.dims+1 {
+			return fmt.Sprintf("ERR %s needs time, %d coordinates and a value", cmd, s.dims), false
+		}
+		nums, err := parseInts(fields[1 : 1+1+s.dims])
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return "ERR bad value: " + err.Error(), false
+		}
+		coords := make([]int, s.dims)
+		for i := range coords {
+			coords[i] = int(nums[1+i])
+		}
+		s.mu.Lock()
+		if cmd == "INS" {
+			err = s.cube.Insert(nums[0], coords, val)
+		} else {
+			err = s.cube.Delete(nums[0], coords, val)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "QRY":
+		// QRY <tlo> <thi> <l1>..<ld> <u1>..<ud>
+		if len(fields) != 1+2+2*s.dims {
+			return fmt.Sprintf("ERR QRY needs tlo, thi and %d lo + %d hi coordinates", s.dims, s.dims), false
+		}
+		nums, err := parseInts(fields[1:])
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		lo := make([]int, s.dims)
+		hi := make([]int, s.dims)
+		for i := 0; i < s.dims; i++ {
+			lo[i] = int(nums[2+i])
+			hi[i] = int(nums[2+s.dims+i])
+		}
+		s.mu.Lock()
+		v, err := s.cube.Query(core.Range{TimeLo: nums[0], TimeHi: nums[1], Lo: lo, Hi: hi})
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64), false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}
+
+func (s *server) saveSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = s.cube.Save(f)
+	s.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *server) loadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cube, err := core.Load(f)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cube = cube
+	s.mu.Unlock()
+	return nil
+}
+
+func parseInts(fields []string) ([]int64, error) {
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

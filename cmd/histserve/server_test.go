@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+func startTestServer(t *testing.T, ooo bool) (addr string) {
+	t.Helper()
+	srv, err := newServer("8,8", "sum", ooo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.handle(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	addr := startTestServer(t, false)
+	c := dial(t, addr)
+
+	if got := c.cmd(t, "INS 1 3 4 5.5"); got != "OK" {
+		t.Fatalf("INS -> %q", got)
+	}
+	if got := c.cmd(t, "INS 2 3 4 2.5"); got != "OK" {
+		t.Fatalf("INS -> %q", got)
+	}
+	if got := c.cmd(t, "QRY 0 5 0 0 7 7"); got != "8" {
+		t.Fatalf("QRY -> %q, want 8", got)
+	}
+	if got := c.cmd(t, "QRY 2 2 3 4 3 4"); got != "2.5" {
+		t.Fatalf("point QRY -> %q", got)
+	}
+	if got := c.cmd(t, "DEL 2 3 4 2.5"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "QRY 0 5 0 0 7 7"); got != "5.5" {
+		t.Fatalf("QRY after DEL -> %q", got)
+	}
+	if got := c.cmd(t, "STATS"); !strings.HasPrefix(got, "slices=2") {
+		t.Fatalf("STATS -> %q", got)
+	}
+	if got := c.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	addr := startTestServer(t, false)
+	c := dial(t, addr)
+	for _, bad := range []string{
+		"FLY 1 2 3",
+		"INS 1 2 3",       // too few fields
+		"INS 1 2 3 4 5 6", // too many
+		"INS x 2 3 4",     // bad int
+		"QRY 1 2 3",       // too few
+		"INS 5 1 1 1",     // fine
+		"INS 3 1 1 1",     // out of order without buffer
+		"QRY 2 1 0 0 7 7", // inverted time
+		"QRY 0 9 0 0 9 9", // box out of domain
+		"INS 6 9 9 1",     // coords out of domain
+	} {
+		got := c.cmd(t, bad)
+		if bad == "INS 5 1 1 1" {
+			if got != "OK" {
+				t.Fatalf("%q -> %q, want OK", bad, got)
+			}
+			continue
+		}
+		if !strings.HasPrefix(got, "ERR") {
+			t.Fatalf("%q -> %q, want ERR", bad, got)
+		}
+	}
+}
+
+func TestOutOfOrderBuffered(t *testing.T) {
+	addr := startTestServer(t, true)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	c.cmd(t, "INS 20 2 2 3")
+	if got := c.cmd(t, "INS 15 3 3 7"); got != "OK" {
+		t.Fatalf("buffered INS -> %q", got)
+	}
+	if got := c.cmd(t, "QRY 14 16 0 0 7 7"); got != "7" {
+		t.Fatalf("QRY over buffered update -> %q", got)
+	}
+	if got := c.cmd(t, "STATS"); !strings.Contains(got, "pending=1") {
+		t.Fatalf("STATS -> %q", got)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer("a,b", "sum", false); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if _, err := newServer("4,4", "median", false); err == nil {
+		t.Error("bad operator accepted")
+	}
+}
+
+func TestSaveAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/snap.gob"
+	addr := startTestServer(t, false)
+	c := dial(t, addr)
+	c.cmd(t, "INS 1 2 3 10")
+	c.cmd(t, "INS 2 2 3 5")
+	if got := c.cmd(t, "SAVE "+path); got != "OK" {
+		t.Fatalf("SAVE -> %q", got)
+	}
+	if got := c.cmd(t, "SAVE"); got == "OK" {
+		t.Fatal("SAVE without path accepted")
+	}
+
+	// Resume a fresh server from the snapshot.
+	srv2, err := newServer("8,8", "sum", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.loadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := srv2.dispatch("QRY 0 5 0 0 7 7")
+	if resp != "15" {
+		t.Fatalf("resumed QRY -> %q, want 15", resp)
+	}
+	resp, _ = srv2.dispatch("INS 3 2 3 1")
+	if resp != "OK" {
+		t.Fatalf("resumed INS -> %q", resp)
+	}
+	if err := srv2.loadSnapshot(dir + "/missing.gob"); err == nil {
+		t.Error("loading missing snapshot succeeded")
+	}
+}

@@ -1,0 +1,13 @@
+// Package histcube is a from-scratch Go implementation of "Efficient
+// Integration and Aggregation of Historical Information" (Riedewald,
+// Agrawal, El Abbadi — ACM SIGMOD 2002): append-only data cubes whose
+// range-aggregate query and update costs are independent of the length
+// of the recorded history.
+//
+// The public entry point is internal/core (the Cube facade); the
+// paper's framework, MOLAP instantiation (eCube, lazy copy,
+// copy-ahead), baselines and experiment drivers live in the other
+// internal packages. See README.md for the architecture overview,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package histcube

@@ -1,0 +1,65 @@
+// Quickstart: create an append-only cube, stream a few sales events
+// into it, and run historical range aggregates whose cost does not
+// depend on how much history has accumulated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"histcube/internal/agg"
+	"histcube/internal/core"
+)
+
+func main() {
+	// A 2-d cube over 8 stores x 16 products, plus transaction time.
+	cube, err := core.New(core.Config{
+		Dims:     []core.Dim{{Name: "store", Size: 8}, {Name: "product", Size: 16}},
+		Operator: agg.Sum,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sales arrive in commit order: (day, store, product, amount).
+	sales := []struct {
+		day            int64
+		store, product int
+		amount         float64
+	}{
+		{1, 0, 3, 120.0},
+		{1, 2, 5, 80.0},
+		{2, 0, 3, 60.5},
+		{2, 1, 7, 45.0},
+		{3, 2, 5, 99.5},
+		{3, 0, 9, 10.0},
+	}
+	for _, s := range sales {
+		if err := cube.Insert(s.day, []int{s.store, s.product}, s.amount); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Revenue of store 0 over all products, days 1-2.
+	v, err := cube.Query(core.Range{
+		TimeLo: 1, TimeHi: 2,
+		Lo: []int{0, 0}, Hi: []int{0, 15},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store 0 revenue, days 1-2: %.1f\n", v)
+
+	// Revenue of all stores for product 5, full history.
+	v, err = cube.Query(core.Range{
+		TimeLo: 1, TimeHi: 3,
+		Lo: []int{0, 5}, Hi: []int{7, 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("product 5 revenue, days 1-3: %.1f\n", v)
+
+	st := cube.Stats()
+	fmt.Printf("cube holds %d time slices; %d incompletely copied\n", st.Slices, st.IncompleteSlices)
+}

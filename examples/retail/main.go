@@ -1,0 +1,112 @@
+// Retail warehouse example: the paper's motivating analysis queries —
+// revenue per month, month-over-month comparison, and the same month
+// across years — over an append-only sales cube with AVERAGE support.
+//
+// Dimensions: region (4) x category (8); time is a month index
+// (year*12 + month).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"histcube/internal/agg"
+	"histcube/internal/core"
+)
+
+func monthIndex(year, month int) int64 { return int64(year*12 + month - 1) }
+
+func main() {
+	revenue, err := core.New(core.Config{
+		Dims:     []core.Dim{{Name: "region", Size: 4}, {Name: "category", Size: 8}},
+		Operator: agg.Sum,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ticket, err := core.New(core.Config{
+		Dims:     []core.Dim{{Name: "region", Size: 4}, {Name: "category", Size: 8}},
+		Operator: agg.Average,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three years of synthetic sales, arriving month by month (the
+	// append-only load path of a warehouse): volume has a December
+	// peak, and category 3 grows year over year.
+	r := rand.New(rand.NewSource(2002))
+	for year := 2020; year <= 2022; year++ {
+		for month := 1; month <= 12; month++ {
+			t := monthIndex(year, month)
+			sales := 200 + 40*seasonality(month)
+			for i := 0; i < sales; i++ {
+				region := r.Intn(4)
+				cat := r.Intn(8)
+				amount := 20 + r.Float64()*80
+				if cat == 3 {
+					amount *= 1 + 0.5*float64(year-2020)
+				}
+				if err := revenue.Insert(t, []int{region, cat}, amount); err != nil {
+					log.Fatal(err)
+				}
+				if err := ticket.Insert(t, []int{region, cat}, amount); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	all := func(c *core.Cube, tLo, tHi int64, lo, hi []int) float64 {
+		v, err := c.Query(core.Range{TimeLo: tLo, TimeHi: tHi, Lo: lo, Hi: hi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	fullLo := []int{0, 0}
+	fullHi := []int{3, 7}
+
+	fmt.Println("revenue per month, 2022:")
+	for month := 1; month <= 12; month++ {
+		t := monthIndex(2022, month)
+		fmt.Printf("  2022-%02d  %10.0f\n", month, all(revenue, t, t, fullLo, fullHi))
+	}
+
+	fmt.Println("\nmonth-over-month, Q4 2022:")
+	for month := 10; month <= 12; month++ {
+		cur := all(revenue, monthIndex(2022, month), monthIndex(2022, month), fullLo, fullHi)
+		prev := all(revenue, monthIndex(2022, month-1), monthIndex(2022, month-1), fullLo, fullHi)
+		fmt.Printf("  2022-%02d vs 2022-%02d: %+.1f%%\n", month, month-1, 100*(cur-prev)/prev)
+	}
+
+	fmt.Println("\nDecember across years (category 3 only — the growing line):")
+	for year := 2020; year <= 2022; year++ {
+		t := monthIndex(year, 12)
+		v := all(revenue, t, t, []int{0, 3}, []int{3, 3})
+		a := all(ticket, t, t, []int{0, 3}, []int{3, 3})
+		fmt.Printf("  %d-12: revenue %9.0f, avg ticket %6.1f\n", year, v, a)
+	}
+
+	// Roll-up: whole history by region (a collection of range queries,
+	// as the paper describes roll-up/drill-down).
+	fmt.Println("\nroll-up: total revenue by region, 2020-2022:")
+	for region := 0; region < 4; region++ {
+		v := all(revenue, monthIndex(2020, 1), monthIndex(2022, 12), []int{region, 0}, []int{region, 7})
+		fmt.Printf("  region %d: %11.0f\n", region, v)
+	}
+}
+
+func seasonality(month int) int {
+	switch month {
+	case 12:
+		return 5
+	case 11:
+		return 3
+	case 7, 8:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,3 @@
+module histcube
+
+go 1.22

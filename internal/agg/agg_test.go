@@ -1,0 +1,137 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOperatorString(t *testing.T) {
+	cases := map[Operator]string{
+		Sum: "SUM", Count: "COUNT", Average: "AVG", Min: "MIN", Max: "MAX",
+		Operator(42): "Operator(42)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestInvertible(t *testing.T) {
+	for _, op := range []Operator{Sum, Count, Average} {
+		if !op.Invertible() {
+			t.Errorf("%s.Invertible() = false", op)
+		}
+		if err := op.Validate(); err != nil {
+			t.Errorf("%s.Validate() = %v", op, err)
+		}
+	}
+	for _, op := range []Operator{Min, Max, Operator(99)} {
+		if op.Invertible() {
+			t.Errorf("%s.Invertible() = true", op)
+		}
+		if err := op.Validate(); !errors.Is(err, ErrNotInvertible) {
+			t.Errorf("%s.Validate() = %v, want ErrNotInvertible", op, err)
+		}
+	}
+}
+
+func TestValueArithmetic(t *testing.T) {
+	a := Value{Sum: 5, Count: 2}
+	b := Value{Sum: 3, Count: 1}
+	if got := a.Add(b); got != (Value{Sum: 8, Count: 3}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got != (Value{Sum: 2, Count: 1}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Neg(); got != (Value{Sum: -5, Count: -2}) {
+		t.Errorf("Neg = %+v", got)
+	}
+	if got := a.Scale(-1); got != (Value{Sum: -5, Count: -2}) {
+		t.Errorf("Scale(-1) = %+v", got)
+	}
+	if got := a.Scale(0); got != (Value{}) {
+		t.Errorf("Scale(0) = %+v", got)
+	}
+}
+
+func TestPointContribution(t *testing.T) {
+	if got := Point(Sum, 7.5); got != (Value{Sum: 7.5, Count: 1}) {
+		t.Errorf("Point(Sum) = %+v", got)
+	}
+	if got := Point(Count, 7.5); got != (Value{Sum: 1, Count: 1}) {
+		t.Errorf("Point(Count) = %+v", got)
+	}
+	if got := Point(Average, 7.5); got != (Value{Sum: 7.5, Count: 1}) {
+		t.Errorf("Point(Average) = %+v", got)
+	}
+}
+
+func TestPointPanicsOnNonInvertible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Point(Min) did not panic")
+		}
+	}()
+	Point(Min, 1)
+}
+
+func TestFinalize(t *testing.T) {
+	v := Value{Sum: 10, Count: 4}
+	if got := Finalize(Sum, v); got != 10 {
+		t.Errorf("Finalize(Sum) = %v", got)
+	}
+	if got := Finalize(Count, v); got != 4 {
+		t.Errorf("Finalize(Count) = %v", got)
+	}
+	if got := Finalize(Average, v); got != 2.5 {
+		t.Errorf("Finalize(Average) = %v", got)
+	}
+	if got := Finalize(Average, Value{}); got != 0 {
+		t.Errorf("Finalize(Average, empty) = %v, want 0", got)
+	}
+}
+
+func TestFinalizePanicsOnNonInvertible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Finalize(Max) did not panic")
+		}
+	}()
+	Finalize(Max, Value{})
+}
+
+// Property: Sub is the inverse of Add.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(s1, c1, s2, c2 float64) bool {
+		if math.IsNaN(s1) || math.IsNaN(c1) || math.IsNaN(s2) || math.IsNaN(c2) {
+			return true
+		}
+		a := Value{Sum: s1, Count: c1}
+		b := Value{Sum: s2, Count: c2}
+		got := a.Add(b).Sub(b)
+		return got.Sum == s1+s2-s2 && got.Count == c1+c2-c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and associative (exactly, for values
+// that avoid float rounding, here small integers).
+func TestAddAlgebraProperty(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		va := Value{Sum: float64(a), Count: 1}
+		vb := Value{Sum: float64(b), Count: 1}
+		vc := Value{Sum: float64(c), Count: 1}
+		comm := va.Add(vb) == vb.Add(va)
+		assoc := va.Add(vb).Add(vc) == va.Add(vb.Add(vc))
+		return comm && assoc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

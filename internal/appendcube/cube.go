@@ -1,0 +1,550 @@
+// Package appendcube implements the paper's headline data structure
+// (Section 3): a d-dimensional append-only MOLAP cube maintained as a
+// cache of the latest cumulative time slice (DDC-aggregated in the
+// non-time dimensions, with per-cell timestamps) plus lazily
+// materialised historic time slices that the eCube query algorithm
+// gradually converts from DDC to PS form.
+//
+// The transaction-time dimension is handled by the framework reduction
+// of Section 2: cumulative slices make any time range answerable from
+// two slices, so query and update cost are independent of the length
+// of the recorded history. Lazy copying with copy-ahead (Section 3.3)
+// amortises the cost of snapshotting a slice over the updates that
+// share it.
+package appendcube
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"histcube/internal/ddc"
+	"histcube/internal/dims"
+	"histcube/internal/ecube"
+	"histcube/internal/molap"
+)
+
+// ErrOutOfOrder reports an update whose time coordinate precedes the
+// latest time slice. The append-only cube rejects such updates; the
+// framework layer (internal/framework) buffers them in a general
+// d-dimensional structure instead (Section 2.5).
+var ErrOutOfOrder = errors.New("appendcube: update time precedes the latest time slice")
+
+// ErrNoData reports a query against an empty cube.
+var ErrNoData = errors.New("appendcube: cube holds no data")
+
+// Config configures a Cube.
+type Config struct {
+	// SliceShape is the geometry of one time slice: the d-1 non-time
+	// dimensions.
+	SliceShape dims.Shape
+	// Store holds the historic slices. Defaults to an in-memory store.
+	Store SliceStore
+	// CopyAheadThreshold is the per-update total work budget (cache
+	// cells + forced copies + copy-ahead steps) for the in-memory
+	// cell-wise copy-ahead of Section 3.3. Zero (the default) selects
+	// the adaptive budget: roughly 2/θ copy steps per update, where θ
+	// is the observed density (updates per slice / slice size) — the
+	// paper's analysis shows 1/θ copies per update keep the cache
+	// current, with the constant-bounded amortised overhead 1/θ_min.
+	// A positive value fixes the budget instead; negative disables
+	// copy-ahead entirely (lazy copies only), exposed for the ablation
+	// benchmarks.
+	CopyAheadThreshold int
+	// CopyPages is the number of pages the page-wise copy-ahead of the
+	// disk algorithm (Section 3.5) may write per update. Zero selects
+	// the paper's setting of 1.
+	CopyPages int
+	// DisableConversion turns off the eCube DDC->PS conversion in
+	// historic slices (ablation: plain DDC reads via the timestamp
+	// rule).
+	DisableConversion bool
+}
+
+// DefaultThreshold returns a fixed copy-ahead work budget for a slice
+// shape: roughly twice a typical DDC update footprint. It is exported
+// for the ablation benchmarks; the cube's default is the adaptive
+// density-tracking budget (see Config.CopyAheadThreshold).
+func DefaultThreshold(shape dims.Shape) int {
+	t := 1
+	for _, n := range shape {
+		t *= (ddc.MaxChainLen(n)+3)/2 + 1
+	}
+	return t
+}
+
+// UpdateResult reports the cost breakdown of one update, in cell
+// accesses (the in-memory metric). For disk-backed cubes the page I/O
+// cost is available via the store's counters.
+type UpdateResult struct {
+	// NewSlice is true when the update opened a new time slice.
+	NewSlice bool
+	// CacheCells is the number of cache cells the DDC update touched —
+	// the "ideal" cost if copies were free and instantaneous.
+	CacheCells int
+	// ForcedCopies is the number of cell values copied to historic
+	// slices because the update overwrote them (step 3 of Fig. 8).
+	ForcedCopies int
+	// CopyAhead is the work done by the copy-ahead loop (step 4):
+	// copies plus cursor advances.
+	CopyAhead int
+	// Incomplete is the number of historic slices not yet completely
+	// copied after this update (the Table 4 measurement).
+	Incomplete int
+}
+
+// Cost returns the total update cost including copy work.
+func (r UpdateResult) Cost() int { return r.CacheCells + r.ForcedCopies + r.CopyAhead }
+
+// CostNoCopy returns the update cost if copies were free — the ideal
+// curve of Figures 12 and 13.
+func (r UpdateResult) CostNoCopy() int { return r.CacheCells }
+
+type cacheCell struct {
+	val float64
+	ts  int32 // index of the first slice this value is current for
+}
+
+// Cube is the append-only MOLAP cube.
+type Cube struct {
+	shape   dims.Shape
+	strides []int
+	store   SliceStore
+	engine  *ecube.Engine
+
+	cache []cacheCell
+	times []int64 // occurring time values, ascending
+
+	// Copy-ahead state.
+	threshold    int  // fixed budget; 0 with adaptive=true
+	adaptive     bool // density-tracking budget (the default)
+	totalUpdates int
+	sliceUpds    int     // updates into the current slice
+	estPerSlice  float64 // EWMA of updates per slice (0 until first close)
+	copyPages    int
+	z            int         // cell-wise cursor (Fig. 8's Z)
+	pageCur      map[int]int // per-slice page cursor for the disk policy
+
+	// Incomplete-slice tracking: tsCount[i] counts cache cells with
+	// timestamp i; minTS is the smallest index with a non-zero count.
+	tsCount []int
+	minTS   int
+
+	convert bool
+
+	// CacheAccesses counts reads/writes of cache cells; historic-slice
+	// accesses are counted by the store in its own unit.
+	CacheAccesses int64
+
+	// scratch
+	updateSets [][]int
+}
+
+// New returns an empty cube.
+func New(cfg Config) (*Cube, error) {
+	if err := cfg.SliceShape.Validate(); err != nil {
+		return nil, err
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore(cfg.SliceShape.Size())
+	}
+	engine, err := ecube.NewEngine(cfg.SliceShape)
+	if err != nil {
+		return nil, err
+	}
+	threshold := cfg.CopyAheadThreshold
+	adaptive := threshold == 0
+	if adaptive {
+		threshold = 0
+	}
+	copyPages := cfg.CopyPages
+	if copyPages == 0 {
+		copyPages = 1
+	}
+	size := cfg.SliceShape.Size()
+	c := &Cube{
+		shape:      cfg.SliceShape.Clone(),
+		strides:    cfg.SliceShape.Strides(),
+		store:      store,
+		engine:     engine,
+		cache:      make([]cacheCell, size),
+		threshold:  threshold,
+		adaptive:   adaptive,
+		copyPages:  copyPages,
+		pageCur:    make(map[int]int),
+		tsCount:    []int{size},
+		minTS:      0,
+		convert:    !cfg.DisableConversion && store.Flags(),
+		updateSets: make([][]int, len(cfg.SliceShape)),
+	}
+	return c, nil
+}
+
+// SliceShape returns the slice geometry.
+func (c *Cube) SliceShape() dims.Shape { return c.shape }
+
+// Store returns the historic slice store.
+func (c *Cube) Store() SliceStore { return c.store }
+
+// Times returns the occurring time values in ascending order.
+func (c *Cube) Times() []int64 { return c.times }
+
+// NumSlices returns the number of occurring time values.
+func (c *Cube) NumSlices() int { return len(c.times) }
+
+// Incomplete returns the number of historic slices that are not yet
+// completely copied (Table 4's measurement): slices s with
+// minTS <= s < latest.
+func (c *Cube) Incomplete() int {
+	latest := len(c.times) - 1
+	if latest < 0 || c.minTS >= latest {
+		return 0
+	}
+	return latest - c.minTS
+}
+
+func (c *Cube) moveTS(off int, to int32) {
+	from := c.cache[off].ts
+	c.tsCount[from]--
+	c.tsCount[to]++
+	c.cache[off].ts = to
+	latest := len(c.times) - 1
+	for c.minTS < latest && c.tsCount[c.minTS] == 0 {
+		c.minTS++
+	}
+}
+
+// Update applies update_D(X^d, delta): timeVal is the coordinate in
+// the TT-dimension, x the coordinates in the remaining dimensions. It
+// implements the complete algorithm of Fig. 8: forced lazy copies for
+// overwritten cache cells, then copy-ahead within the work budget.
+func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, error) {
+	var res UpdateResult
+	if !c.shape.Contains(x) {
+		return res, fmt.Errorf("appendcube: update coordinate %v outside slice shape %v", x, c.shape)
+	}
+	// Step 1: open a new time slice if needed.
+	if n := len(c.times); n == 0 || timeVal > c.times[n-1] {
+		idx := len(c.times)
+		if err := c.store.Reserve(idx); err != nil {
+			return res, err
+		}
+		if n > 0 {
+			// Fold the closing slice's update count into the density
+			// estimate the adaptive copy-ahead budget tracks.
+			if c.estPerSlice == 0 {
+				c.estPerSlice = float64(c.sliceUpds)
+			} else {
+				c.estPerSlice = 0.7*c.estPerSlice + 0.3*float64(c.sliceUpds)
+			}
+		}
+		c.sliceUpds = 0
+		c.times = append(c.times, timeVal)
+		c.tsCount = append(c.tsCount, 0)
+		res.NewSlice = true
+	} else if timeVal < c.times[n-1] {
+		return res, fmt.Errorf("%w: got %d, latest is %d", ErrOutOfOrder, timeVal, c.times[n-1])
+	}
+	latest := int32(len(c.times) - 1)
+
+	// Step 2: cells of cache affected by the DDC update.
+	for d := range c.shape {
+		c.updateSets[d] = ddc.DDC{}.UpdateCells(c.updateSets[d][:0], c.shape[d], x[d])
+	}
+
+	// Step 3: per affected cell, lazily copy the old version before
+	// overwriting.
+	var err error
+	dims.CrossProduct(c.updateSets, func(combo []int) {
+		if err != nil {
+			return
+		}
+		off := 0
+		for i, v := range combo {
+			off += v * c.strides[i]
+		}
+		cell := &c.cache[off]
+		c.CacheAccesses++
+		res.CacheCells++
+		if cell.ts < latest {
+			for s := cell.ts; s < latest; s++ {
+				if werr := c.store.Write(int(s), off, cell.val, DDCValue); werr != nil {
+					err = werr
+					return
+				}
+				res.ForcedCopies++
+			}
+			c.moveTS(off, latest)
+		}
+		cell.val += delta
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Step 4: copy-ahead within the remaining budget.
+	c.totalUpdates++
+	c.sliceUpds++
+	if _, disk := c.store.(*DiskStore); disk {
+		res.CopyAhead, err = c.copyAheadPages()
+	} else if budget := c.budget(); budget > 0 {
+		res.CopyAhead, err = c.copyAheadCells(res.CacheCells+res.ForcedCopies, budget)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Incomplete = c.Incomplete()
+	return res, nil
+}
+
+// budget returns the copy-ahead work budget for the current update:
+// the fixed threshold, or the adaptive budget of about 2/θ steps,
+// with θ the recent density (EWMA of updates per slice over the slice
+// size). The paper's amortisation argument needs 1/θ copies per
+// update; the factor 2 covers the cursor advances interleaved with
+// copies, and the backlog term reacts to per-slice density variance
+// (sparse stretches would otherwise let incomplete slices accumulate,
+// the effect the paper's Table 4 discussion attributes to gauss3's
+// clusters).
+func (c *Cube) budget() int {
+	if !c.adaptive {
+		return c.threshold
+	}
+	est := c.estPerSlice
+	if est < 1 {
+		est = 1
+	}
+	base := float64(len(c.cache)) / est
+	backlog := float64(c.Incomplete())
+	return int((2+backlog)*base) + 8
+}
+
+// copyAheadCells is the in-memory policy of Fig. 8 step 4: while the
+// operation's total cost is below the budget, copy the value of the
+// cursor cell one slice ahead, or advance the cursor if the cell is
+// current. Cursor advances count as work (one cache inspection).
+func (c *Cube) copyAheadCells(used, budget int) (int, error) {
+	latest := int32(len(c.times) - 1)
+	work := 0
+	for used+work < budget && c.minTS < int(latest) {
+		cell := &c.cache[c.z]
+		c.CacheAccesses++
+		work++
+		if cell.ts < latest {
+			if err := c.store.Write(int(cell.ts), c.z, cell.val, DDCValue); err != nil {
+				return work, err
+			}
+			c.moveTS(c.z, cell.ts+1)
+		} else {
+			c.z++
+			if c.z == len(c.cache) {
+				c.z = 0
+			}
+		}
+	}
+	return work, nil
+}
+
+// copyAheadPages is the disk policy of Section 3.5: copy at most
+// CopyPages pages of the oldest incomplete slice per update. One page
+// write moves up to CellsPerPage cells (2048 for 8 KiB pages), which
+// the paper found keeps at most one historic instance incomplete.
+func (c *Cube) copyAheadPages() (int, error) {
+	ds := c.store.(*DiskStore)
+	latest := len(c.times) - 1
+	work := 0
+	for page := 0; page < c.copyPages; page++ {
+		s := c.minTS
+		if s >= latest {
+			return work, nil
+		}
+		per := ds.CellsPerPage()
+		firstPage := (s * c.shape.Size()) / per
+		p, ok := c.pageCur[s]
+		if !ok {
+			p = firstPage
+		}
+		lo, hi := ds.PageSpan(s, p)
+		for off := lo; off < hi; off++ {
+			cell := &c.cache[off]
+			if int(cell.ts) == s {
+				if err := ds.Write(s, off, cell.val, DDCValue); err != nil {
+					return work, err
+				}
+				c.moveTS(off, cell.ts+1)
+				work++
+			}
+		}
+		p++
+		lastPage := ((s+1)*c.shape.Size() - 1) / per
+		if p > lastPage {
+			delete(c.pageCur, s)
+		} else {
+			c.pageCur[s] = p
+		}
+	}
+	return work, nil
+}
+
+// ForceComplete drains all pending copies, materialising every
+// historic slice completely. Tests and the data-aging path use it.
+func (c *Cube) ForceComplete() error {
+	latest := int32(len(c.times) - 1)
+	if latest < 0 {
+		return nil
+	}
+	for off := range c.cache {
+		cell := &c.cache[off]
+		for s := cell.ts; s < latest; s++ {
+			if err := c.store.Write(int(s), off, cell.val, DDCValue); err != nil {
+				return err
+			}
+		}
+		if cell.ts < latest {
+			c.moveTS(off, latest)
+		}
+	}
+	return nil
+}
+
+// sliceView adapts one historic slice to the eCube CellStore
+// interface, applying the read rule of Section 3.3.
+type sliceView struct {
+	c *Cube
+	s int
+}
+
+// Load implements ecube.CellStore.
+func (v sliceView) Load(off int) (float64, bool) {
+	c := v.c
+	if c.store.Flags() {
+		// Flagged store: one slice read answers materialised cells
+		// (including PS conversions); unmaterialised cells fall back
+		// to cache, which the lazy-copy invariant proves current.
+		val, flag, _ := c.store.Read(v.s, off)
+		if flag != Unmaterialized {
+			return val, flag == PSValue
+		}
+		c.CacheAccesses++
+		return c.cache[off].val, false
+	}
+	// Unflagged (disk) store: the paper's timestamp rule. One cache
+	// access for the timestamp; the slice is consulted only when the
+	// cache value is newer than the queried slice.
+	c.CacheAccesses++
+	cell := c.cache[off]
+	if int(cell.ts) <= v.s {
+		return cell.val, false
+	}
+	val, _, _ := c.store.Read(v.s, off)
+	return val, false
+}
+
+// StorePS implements ecube.CellStore.
+func (v sliceView) StorePS(off int, val float64) bool {
+	if !v.c.convert {
+		return false
+	}
+	ok, err := v.c.store.Convert(v.s, off, val)
+	return ok && err == nil
+}
+
+// Query computes the aggregate over the closed time range
+// [timeLo, timeHi] and the slice-dimension box: the framework
+// reduction q_u - q_l over the two relevant cumulative slices.
+func (c *Cube) Query(timeLo, timeHi int64, box dims.Box) (float64, error) {
+	if err := box.Validate(c.shape); err != nil {
+		return 0, err
+	}
+	if timeLo > timeHi {
+		return 0, fmt.Errorf("appendcube: inverted time range [%d, %d]", timeLo, timeHi)
+	}
+	if len(c.times) == 0 {
+		return 0, nil
+	}
+	qu, err := c.prefixTimeQuery(timeHi, box)
+	if err != nil {
+		return 0, err
+	}
+	if timeLo == math.MinInt64 {
+		// timeLo-1 would wrap around; nothing precedes the range.
+		return qu, nil
+	}
+	ql, err := c.prefixTimeQuery(timeLo-1, box)
+	if err != nil {
+		return 0, err
+	}
+	return qu - ql, nil
+}
+
+// PrefixTimeQuery answers the half-open range "all points with time
+// coordinate <= t" restricted to the box — the prefix time query the
+// framework reduces everything to.
+func (c *Cube) PrefixTimeQuery(t int64, box dims.Box) (float64, error) {
+	if err := box.Validate(c.shape); err != nil {
+		return 0, err
+	}
+	return c.prefixTimeQuery(t, box)
+}
+
+func (c *Cube) prefixTimeQuery(t int64, box dims.Box) (float64, error) {
+	// Directory lookup: greatest occurring time <= t.
+	idx := sort.Search(len(c.times), func(i int) bool { return c.times[i] > t }) - 1
+	if idx < 0 {
+		return 0, nil
+	}
+	return c.SliceQuery(idx, box)
+}
+
+// SliceQuery aggregates the box over the cumulative slice with index
+// s. The latest slice is answered by the DDC algorithm on cache;
+// historic slices by the eCube algorithm over the store.
+func (c *Cube) SliceQuery(s int, box dims.Box) (float64, error) {
+	if s < 0 || s >= len(c.times) {
+		return 0, fmt.Errorf("appendcube: slice index %d out of range [0, %d)", s, len(c.times))
+	}
+	if err := box.Validate(c.shape); err != nil {
+		return 0, err
+	}
+	if s == len(c.times)-1 {
+		return c.cacheQuery(box), nil
+	}
+	return c.engine.Range(sliceView{c: c, s: s}, box)
+}
+
+// cacheQuery runs the direct DDC range algorithm against the cache.
+func (c *Cube) cacheQuery(box dims.Box) float64 {
+	sets := make([][]molap.Term, len(c.shape))
+	for d := range c.shape {
+		sets[d] = ddc.DDC{}.QueryTerms(nil, c.shape[d], box.Lo[d], box.Hi[d])
+	}
+	idx := make([][]int, len(sets))
+	for d, s := range sets {
+		ii := make([]int, len(s))
+		for i := range s {
+			ii[i] = i
+		}
+		idx[d] = ii
+	}
+	total := 0.0
+	dims.CrossProduct(idx, func(combo []int) {
+		off := 0
+		f := 1.0
+		for d, i := range combo {
+			t := sets[d][i]
+			off += t.Index * c.strides[d]
+			f *= t.Factor
+		}
+		total += f * c.cache[off].val
+		c.CacheAccesses++
+	})
+	return total
+}
+
+// Accesses returns the combined access count: cache cell accesses plus
+// the store's native accesses. For in-memory cubes both units are
+// cells; for disk cubes use CacheAccesses and Store().Accesses()
+// separately.
+func (c *Cube) Accesses() int64 { return c.CacheAccesses + c.store.Accesses() }

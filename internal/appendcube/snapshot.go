@@ -1,0 +1,146 @@
+package appendcube
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"histcube/internal/dims"
+)
+
+// ErrSnapshotUnsupported reports a snapshot of a cube whose historic
+// store is not the in-memory store (disk-backed cubes already persist
+// through their pager file).
+var ErrSnapshotUnsupported = errors.New("appendcube: snapshots support memory-backed cubes only")
+
+// snapshot is the serialised cube state. All cost counters restart at
+// zero on restore; they are measurements, not state.
+type snapshot struct {
+	Version    int
+	Shape      []int
+	Times      []int64
+	CacheVals  []float64
+	CacheTS    []int32
+	SliceVals  [][]float64
+	SliceFlags [][]uint8
+
+	Threshold    int
+	Adaptive     bool
+	TotalUpdates int
+	SliceUpds    int
+	EstPerSlice  float64
+	Cursor       int
+	Convert      bool
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serialises the cube (gob encoding). Only memory-backed
+// cubes are supported.
+func (c *Cube) WriteSnapshot(w io.Writer) error {
+	return c.EncodeSnapshot(gob.NewEncoder(w))
+}
+
+// EncodeSnapshot writes the cube into an existing gob stream, so a
+// caller can frame it with its own metadata (gob decoders read ahead,
+// so one stream must use one encoder/decoder pair end to end).
+func (c *Cube) EncodeSnapshot(enc *gob.Encoder) error {
+	ms, ok := c.store.(*MemStore)
+	if !ok {
+		return ErrSnapshotUnsupported
+	}
+	s := snapshot{
+		Version:      snapshotVersion,
+		Shape:        c.shape,
+		Times:        c.times,
+		CacheVals:    make([]float64, len(c.cache)),
+		CacheTS:      make([]int32, len(c.cache)),
+		SliceVals:    ms.vals,
+		SliceFlags:   ms.flags,
+		Threshold:    c.threshold,
+		Adaptive:     c.adaptive,
+		TotalUpdates: c.totalUpdates,
+		SliceUpds:    c.sliceUpds,
+		EstPerSlice:  c.estPerSlice,
+		Cursor:       c.z,
+		Convert:      c.convert,
+	}
+	for i, cell := range c.cache {
+		s.CacheVals[i] = cell.val
+		s.CacheTS[i] = cell.ts
+	}
+	return enc.Encode(&s)
+}
+
+// ReadSnapshot deserialises a cube written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Cube, error) {
+	return DecodeSnapshot(gob.NewDecoder(r))
+}
+
+// DecodeSnapshot reads a cube from an existing gob stream (the
+// counterpart of EncodeSnapshot).
+func DecodeSnapshot(dec *gob.Decoder) (*Cube, error) {
+	var s snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("appendcube: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("appendcube: snapshot version %d not supported (want %d)", s.Version, snapshotVersion)
+	}
+	shape := dims.Shape(s.Shape)
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("appendcube: snapshot shape: %w", err)
+	}
+	size := shape.Size()
+	if len(s.CacheVals) != size || len(s.CacheTS) != size {
+		return nil, fmt.Errorf("appendcube: snapshot cache length %d does not match shape size %d", len(s.CacheVals), size)
+	}
+	if len(s.SliceVals) != len(s.Times) || len(s.SliceFlags) != len(s.Times) {
+		return nil, fmt.Errorf("appendcube: snapshot has %d slices for %d times", len(s.SliceVals), len(s.Times))
+	}
+	for i := range s.SliceVals {
+		if len(s.SliceVals[i]) != size || len(s.SliceFlags[i]) != size {
+			return nil, fmt.Errorf("appendcube: snapshot slice %d has wrong size", i)
+		}
+	}
+	threshold := s.Threshold
+	if s.Adaptive {
+		threshold = 0
+	} else if threshold == 0 {
+		threshold = -1
+	}
+	c, err := New(Config{SliceShape: shape, CopyAheadThreshold: threshold, DisableConversion: !s.Convert})
+	if err != nil {
+		return nil, err
+	}
+	ms := c.store.(*MemStore)
+	ms.vals = s.SliceVals
+	ms.flags = s.SliceFlags
+	c.times = s.Times
+	c.totalUpdates = s.TotalUpdates
+	c.sliceUpds = s.SliceUpds
+	c.estPerSlice = s.EstPerSlice
+	c.z = s.Cursor
+	// Rebuild cache and the incomplete-tracking state (slot 0 exists
+	// even before the first slice: fresh caches carry timestamp 0).
+	n := len(s.Times)
+	if n == 0 {
+		n = 1
+	}
+	c.tsCount = make([]int, n)
+	latest := len(s.Times) - 1
+	for i := range c.cache {
+		ts := s.CacheTS[i]
+		if int(ts) > latest && latest >= 0 {
+			return nil, fmt.Errorf("appendcube: snapshot cache timestamp %d beyond latest slice %d", ts, latest)
+		}
+		c.cache[i] = cacheCell{val: s.CacheVals[i], ts: ts}
+		c.tsCount[ts]++
+	}
+	c.minTS = 0
+	for c.minTS < latest && c.tsCount[c.minTS] == 0 {
+		c.minTS++
+	}
+	return c, nil
+}

@@ -1,0 +1,120 @@
+package appendcube
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"histcube/internal/dims"
+	"histcube/internal/pager"
+)
+
+func TestSnapshotRoundTripMidStream(t *testing.T) {
+	shape := dims.Shape{9, 7}
+	c, err := New(Config{SliceShape: shape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(81))
+	sh := &shadow{shape: shape}
+	now := int64(0)
+	apply := func(cube *Cube, record bool, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				now++
+			}
+			x := []int{r.Intn(9), r.Intn(7)}
+			v := float64(r.Intn(9) - 4)
+			if _, err := cube.Update(now, x, v); err != nil {
+				t.Fatal(err)
+			}
+			if record {
+				sh.add(now, x, v)
+			}
+		}
+	}
+	apply(c, true, 250)
+	// Convert some historic cells before snapshotting, so PS flags
+	// round-trip too.
+	for q := 0; q < 30; q++ {
+		b := randBox(r, shape)
+		if _, err := c.Query(int64(r.Intn(int(now))), now, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSlices() != c.NumSlices() || back.Incomplete() != c.Incomplete() {
+		t.Fatalf("state mismatch: slices %d/%d incomplete %d/%d",
+			back.NumSlices(), c.NumSlices(), back.Incomplete(), c.Incomplete())
+	}
+	// Continue the same stream on both; they must stay identical.
+	r2 := rand.New(rand.NewSource(82))
+	for i := 0; i < 200; i++ {
+		if r2.Intn(3) == 0 {
+			now++
+		}
+		x := []int{r2.Intn(9), r2.Intn(7)}
+		v := float64(r2.Intn(9) - 4)
+		if _, err := c.Update(now, x, v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := back.Update(now, x, v); err != nil {
+			t.Fatal(err)
+		}
+		sh.add(now, x, v)
+	}
+	for q := 0; q < 120; q++ {
+		b := randBox(r, shape)
+		tLo := int64(r.Intn(int(now) + 2))
+		tHi := tLo + int64(r.Intn(int(now)+2))
+		want := sh.query(tLo, tHi, b)
+		g1, err1 := c.Query(tLo, tHi, b)
+		g2, err2 := back.Query(tLo, tHi, b)
+		if err1 != nil || err2 != nil || g1 != want || g2 != want {
+			t.Fatalf("q%d [%d,%d] %v: orig %v restored %v want %v", q, tLo, tHi, b, g1, g2, want)
+		}
+	}
+}
+
+func TestSnapshotEmptyCube(t *testing.T) {
+	c, _ := New(Config{SliceShape: dims.Shape{4}})
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSlices() != 0 {
+		t.Errorf("restored empty cube has %d slices", back.NumSlices())
+	}
+	if _, err := back.Update(1, []int{0}, 1); err != nil {
+		t.Errorf("restored empty cube rejects updates: %v", err)
+	}
+}
+
+func TestSnapshotDiskUnsupported(t *testing.T) {
+	pg, _ := pager.New(pager.NewMemBackend(64), 64)
+	c, _ := New(Config{SliceShape: dims.Shape{4}, Store: NewDiskStore(4, pg)})
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

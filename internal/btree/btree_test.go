@@ -1,0 +1,233 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(4)
+	if tr.Len() != 0 || tr.Sum() != 0 {
+		t.Error("empty tree not zeroed")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if got := tr.RangeSum(0, 100); got != 0 {
+		t.Errorf("RangeSum on empty tree = %v", got)
+	}
+	if _, ok := tr.Floor(10); ok {
+		t.Error("Floor on empty tree found a key")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddGetUpsert(t *testing.T) {
+	tr := New(4)
+	tr.Add(10, 3)
+	tr.Add(10, 4)
+	if v, ok := tr.Get(10); !ok || v != 7 {
+		t.Errorf("Get(10) = %v,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	tr.Add(10, -7)
+	if v, ok := tr.Get(10); !ok || v != 0 {
+		t.Errorf("after inverse add: %v,%v (paper: deletes are inverse updates)", v, ok)
+	}
+}
+
+func TestManyInsertsSplitAndStayOrdered(t *testing.T) {
+	tr := New(4)
+	r := rand.New(rand.NewSource(1))
+	keys := r.Perm(500)
+	for _, k := range keys {
+		tr.Add(int64(k), float64(k))
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	tr.Ascend(func(k int64, v float64) bool {
+		got = append(got, k)
+		if v != float64(k) {
+			t.Fatalf("key %d has value %v", k, v)
+		}
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("Ascend visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 20; i++ {
+		tr.Add(int64(i), 1)
+	}
+	n := 0
+	tr.Ascend(func(int64, float64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestRangeSumExhaustiveSmall(t *testing.T) {
+	tr := New(3)
+	vals := map[int64]float64{}
+	for _, k := range []int64{5, 1, 9, 3, 7, 2, 8, 0, 6, 4} {
+		tr.Add(k, float64(k)*2+1)
+		vals[k] = float64(k)*2 + 1
+	}
+	for lo := int64(-2); lo <= 11; lo++ {
+		for hi := lo; hi <= 11; hi++ {
+			want := 0.0
+			for k, v := range vals {
+				if k >= lo && k <= hi {
+					want += v
+				}
+			}
+			if got := tr.RangeSum(lo, hi); got != want {
+				t.Fatalf("RangeSum(%d,%d) = %v, want %v", lo, hi, got, want)
+			}
+		}
+	}
+	if got := tr.RangeSum(5, 4); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestFloorSemantics(t *testing.T) {
+	tr := New(4)
+	for _, k := range []int64{10, 20, 30, 40} {
+		tr.Add(k, 1)
+	}
+	cases := []struct {
+		key  int64
+		want int64
+		ok   bool
+	}{
+		{5, 0, false}, {10, 10, true}, {15, 10, true}, {20, 20, true},
+		{39, 30, true}, {40, 40, true}, {1000, 40, true},
+	}
+	for _, c := range cases {
+		got, ok := tr.Floor(c.key)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.key, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFloorAcrossLeafBoundaries(t *testing.T) {
+	// Dense keys force splits; floors of keys just below a leaf's
+	// first key must come from the previous leaf.
+	tr := New(3)
+	for i := 0; i < 200; i += 2 {
+		tr.Add(int64(i), 1)
+	}
+	for i := int64(1); i < 200; i += 2 {
+		got, ok := tr.Floor(i)
+		if !ok || got != i-1 {
+			t.Fatalf("Floor(%d) = %d,%v want %d", i, got, ok, i-1)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 100; i++ {
+		tr.Add(int64(i), float64(i))
+	}
+	c := tr.Clone()
+	c.Add(5, 100)
+	c.Add(500, 1)
+	if v, _ := tr.Get(5); v != 5 {
+		t.Errorf("clone mutated original: Get(5) = %v", v)
+	}
+	if _, ok := tr.Get(500); ok {
+		t.Error("clone insert leaked into original")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Clone's leaf chain must be self-contained.
+	n := 0
+	c.Ascend(func(int64, float64) bool { n++; return true })
+	if n != 101 {
+		t.Errorf("clone Ascend visited %d, want 101", n)
+	}
+}
+
+// Property: tree agrees with a map shadow under random adds, for
+// random orders, with invariants intact.
+func TestShadowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New(r.Intn(8) + 3)
+		shadow := map[int64]float64{}
+		for op := 0; op < 300; op++ {
+			k := int64(r.Intn(100))
+			d := float64(r.Intn(21) - 10)
+			tr.Add(k, d)
+			shadow[k] += d
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		if tr.Len() != len(shadow) {
+			return false
+		}
+		for op := 0; op < 50; op++ {
+			lo := int64(r.Intn(110) - 5)
+			hi := lo + int64(r.Intn(60))
+			want := 0.0
+			for k, v := range shadow {
+				if k >= lo && k <= hi {
+					want += v
+				}
+			}
+			if tr.RangeSum(lo, hi) != want {
+				return false
+			}
+		}
+		// Floor agrees with a sorted-scan reference.
+		keys := make([]int64, 0, len(shadow))
+		for k := range shadow {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for op := 0; op < 30; op++ {
+			q := int64(r.Intn(120) - 10)
+			i := sort.Search(len(keys), func(i int) bool { return keys[i] > q }) - 1
+			got, ok := tr.Floor(q)
+			if i < 0 {
+				if ok {
+					return false
+				}
+			} else if !ok || got != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

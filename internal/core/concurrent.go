@@ -1,0 +1,74 @@
+package core
+
+import "sync"
+
+// SafeCube wraps a Cube for concurrent use: queries take a write lock
+// too, because historic reads mutate state (the eCube conversion
+// rewrites cells and the read path touches shared counters) — the
+// structure trades that interior mutability for its convergence
+// property, so a plain RWMutex read lock would race. All methods are
+// safe to call from multiple goroutines.
+type SafeCube struct {
+	mu sync.Mutex
+	c  *Cube
+}
+
+// NewSafe wraps an existing cube. The caller must stop using the inner
+// cube directly.
+func NewSafe(c *Cube) *SafeCube { return &SafeCube{c: c} }
+
+// Insert is the synchronised Cube.Insert.
+func (s *SafeCube) Insert(t int64, coords []int, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Insert(t, coords, v)
+}
+
+// Delete is the synchronised Cube.Delete.
+func (s *SafeCube) Delete(t int64, coords []int, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Delete(t, coords, v)
+}
+
+// AddDelta is the synchronised Cube.AddDelta.
+func (s *SafeCube) AddDelta(t int64, coords []int, delta float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.AddDelta(t, coords, delta)
+}
+
+// Query is the synchronised Cube.Query.
+func (s *SafeCube) Query(r Range) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Query(r)
+}
+
+// QueryNamed is the synchronised Cube.QueryNamed.
+func (s *SafeCube) QueryNamed(timeLo, timeHi int64, constraints map[string]Constraint) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.QueryNamed(timeLo, timeHi, constraints)
+}
+
+// Stats is the synchronised Cube.Stats.
+func (s *SafeCube) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Stats()
+}
+
+// Age is the synchronised Cube.Age.
+func (s *SafeCube) Age(n int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Age(n)
+}
+
+// Retire is the synchronised Cube.Retire.
+func (s *SafeCube) Retire() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Retire()
+}

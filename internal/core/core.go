@@ -1,0 +1,342 @@
+// Package core is histcube's public facade: a d-dimensional
+// append-only data cube for historical range aggregation, implementing
+// the SIGMOD 2002 construction of Riedewald, Agrawal and El Abbadi
+// end to end. One dimension is transaction time (values must arrive in
+// non-decreasing time order); the remaining dimensions are dense
+// integer coordinates. Queries aggregate over a closed time range and
+// a coordinate box at a cost independent of the length of the recorded
+// history.
+//
+// The cube supports the invertible operators SUM, COUNT and AVERAGE
+// (maintained as SUM and COUNT), in-memory or disk-backed historic
+// storage, and optional buffering of out-of-order updates in an
+// R*-tree (Section 2.5's G_d) so late corrections degrade performance
+// gracefully instead of failing.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"histcube/internal/agg"
+	"histcube/internal/appendcube"
+	"histcube/internal/dims"
+	"histcube/internal/pager"
+	"histcube/internal/rstar"
+)
+
+// Dim names one non-time dimension and fixes its domain size;
+// coordinates are integers in [0, Size).
+type Dim struct {
+	Name string
+	Size int
+}
+
+// StorageKind selects where historic time slices live.
+type StorageKind int
+
+const (
+	// Memory keeps historic slices in RAM (the Section 3.3/3.4
+	// algorithms, with eCube conversion).
+	Memory StorageKind = iota
+	// Disk keeps historic slices on paged storage (the Section 3.5
+	// external-memory algorithm with page-wise copy-ahead).
+	Disk
+	// Tiered keeps recent slices in RAM and lets Age retire old,
+	// completely copied slices to paged cold storage — the data-aging
+	// scheme of the paper's conclusion.
+	Tiered
+)
+
+// Storage configures the historic slice store.
+type Storage struct {
+	Kind StorageKind
+	// Path backs Disk storage with a real file; empty uses an
+	// in-memory page store with identical I/O accounting.
+	Path string
+	// PageSize for Disk storage; 0 selects the paper's 8 KiB.
+	PageSize int
+}
+
+// Config configures a Cube.
+type Config struct {
+	// Dims are the non-time dimensions (at least one).
+	Dims []Dim
+	// Operator is the aggregate operator; it must be invertible
+	// (SUM, COUNT or AVERAGE).
+	Operator agg.Operator
+	// Storage defaults to Memory.
+	Storage Storage
+	// BufferOutOfOrder routes updates with historic time coordinates
+	// into an R*-tree buffer instead of rejecting them.
+	BufferOutOfOrder bool
+}
+
+// Range is a query region: a closed time range and a closed
+// coordinate box.
+type Range struct {
+	TimeLo, TimeHi int64
+	Lo, Hi         []int
+}
+
+// Stats is a snapshot of cube state and cost counters.
+type Stats struct {
+	Slices             int
+	IncompleteSlices   int
+	CacheAccesses      int64
+	StoreAccesses      int64
+	PendingOutOfOrder  int
+	AppendedUpdates    int64
+	OutOfOrderUpdates  int64
+	LastUpdateCost     int
+	LastUpdateCopyWork int
+}
+
+// Cube is the append-only historical data cube.
+type Cube struct {
+	cfg    Config
+	shape  dims.Shape
+	byName map[string]int
+
+	sum *appendcube.Cube
+	cnt *appendcube.Cube // only for Average
+	gd  *rstar.Gd
+	cgd *rstar.Gd // count buffer, only for Average
+
+	appended   int64
+	outOfOrder int64
+	lastRes    appendcube.UpdateResult
+}
+
+// New returns an empty cube.
+func New(cfg Config) (*Cube, error) {
+	if err := cfg.Operator.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Dims) == 0 {
+		return nil, fmt.Errorf("core: at least one non-time dimension is required")
+	}
+	shape := make(dims.Shape, len(cfg.Dims))
+	byName := make(map[string]int, len(cfg.Dims))
+	for i, d := range cfg.Dims {
+		if d.Size <= 0 {
+			return nil, fmt.Errorf("core: dimension %q has non-positive size %d", d.Name, d.Size)
+		}
+		if d.Name != "" {
+			if _, dup := byName[d.Name]; dup {
+				return nil, fmt.Errorf("core: duplicate dimension name %q", d.Name)
+			}
+			byName[d.Name] = i
+		}
+		shape[i] = d.Size
+	}
+	c := &Cube{cfg: cfg, shape: shape, byName: byName}
+	var err error
+	c.sum, err = newInner(cfg, shape)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Operator == agg.Average {
+		c.cnt, err = newInner(cfg, shape)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.BufferOutOfOrder {
+		c.gd, err = rstar.NewGd(len(shape))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Operator == agg.Average {
+			c.cgd, err = rstar.NewGd(len(shape))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+func newInner(cfg Config, shape dims.Shape) (*appendcube.Cube, error) {
+	acfg := appendcube.Config{SliceShape: shape}
+	if cfg.Storage.Kind == Disk || cfg.Storage.Kind == Tiered {
+		pageSize := cfg.Storage.PageSize
+		if pageSize == 0 {
+			pageSize = pager.DefaultPageSize
+		}
+		var backend pager.Backend
+		if cfg.Storage.Path != "" {
+			fb, err := pager.NewFileBackend(cfg.Storage.Path, pageSize)
+			if err != nil {
+				return nil, err
+			}
+			backend = fb
+		} else {
+			backend = pager.NewMemBackend(pageSize)
+		}
+		pg, err := pager.New(backend, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		disk := appendcube.NewDiskStore(shape.Size(), pg)
+		if cfg.Storage.Kind == Tiered {
+			acfg.Store = appendcube.NewTieredStore(shape.Size(), disk)
+		} else {
+			acfg.Store = disk
+		}
+	}
+	return appendcube.New(acfg)
+}
+
+// DimIndex returns the index of a named dimension.
+func (c *Cube) DimIndex(name string) (int, bool) {
+	i, ok := c.byName[name]
+	return i, ok
+}
+
+// Shape returns the non-time dimension sizes.
+func (c *Cube) Shape() []int { return append([]int(nil), c.shape...) }
+
+// Insert records one data point: at transaction time t, the cell at
+// coords gains measure value v. Under COUNT semantics v is ignored and
+// the point counts 1; AVERAGE accumulates both. Out-of-order times are
+// buffered when configured, rejected with appendcube.ErrOutOfOrder
+// otherwise.
+func (c *Cube) Insert(t int64, coords []int, v float64) error {
+	val := agg.Point(c.cfg.Operator, v)
+	return c.apply(t, coords, val)
+}
+
+// Delete removes a previously inserted point by applying the inverse
+// contribution — the paper's translation of deletes into updates.
+func (c *Cube) Delete(t int64, coords []int, v float64) error {
+	val := agg.Point(c.cfg.Operator, v).Neg()
+	return c.apply(t, coords, val)
+}
+
+// AddDelta adjusts the raw sum component directly (SUM cubes only):
+// the measure at coords changes by delta at time t.
+func (c *Cube) AddDelta(t int64, coords []int, delta float64) error {
+	if c.cfg.Operator != agg.Sum {
+		return fmt.Errorf("core: AddDelta requires the SUM operator, cube uses %s", c.cfg.Operator)
+	}
+	return c.apply(t, coords, agg.Value{Sum: delta})
+}
+
+func (c *Cube) apply(t int64, coords []int, val agg.Value) error {
+	res, err := c.sum.Update(t, coords, val.Sum)
+	switch {
+	case err == nil:
+		c.lastRes = res
+		c.appended++
+		if c.cnt != nil {
+			if _, err := c.cnt.Update(t, coords, val.Count); err != nil {
+				return err
+			}
+		}
+		return nil
+	case errors.Is(err, appendcube.ErrOutOfOrder) && c.gd != nil:
+		c.gd.Insert(t, coords, val.Sum)
+		if c.cgd != nil {
+			c.cgd.Insert(t, coords, val.Count)
+		}
+		c.outOfOrder++
+		return nil
+	default:
+		return err
+	}
+}
+
+// Query aggregates over the range and finalises per the operator
+// (AVERAGE divides the summed measures by the count).
+func (c *Cube) Query(r Range) (float64, error) {
+	v, err := c.partial(r)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Finalize(c.cfg.Operator, v), nil
+}
+
+func (c *Cube) partial(r Range) (agg.Value, error) {
+	box := dims.Box{Lo: r.Lo, Hi: r.Hi}
+	s, err := c.sum.Query(r.TimeLo, r.TimeHi, box)
+	if err != nil {
+		return agg.Value{}, err
+	}
+	out := agg.Value{Sum: s, Count: s}
+	if c.cnt != nil {
+		n, err := c.cnt.Query(r.TimeLo, r.TimeHi, box)
+		if err != nil {
+			return agg.Value{}, err
+		}
+		out.Count = n
+	}
+	if c.gd != nil {
+		g, err := c.gd.Query(r.TimeLo, r.TimeHi, box)
+		if err != nil {
+			return agg.Value{}, err
+		}
+		out.Sum += g
+		if c.cgd != nil {
+			gn, err := c.cgd.Query(r.TimeLo, r.TimeHi, box)
+			if err != nil {
+				return agg.Value{}, err
+			}
+			out.Count += gn
+		} else {
+			out.Count += g
+		}
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cube) Stats() Stats {
+	st := Stats{
+		Slices:             c.sum.NumSlices(),
+		IncompleteSlices:   c.sum.Incomplete(),
+		CacheAccesses:      c.sum.CacheAccesses,
+		StoreAccesses:      c.sum.Store().Accesses(),
+		AppendedUpdates:    c.appended,
+		OutOfOrderUpdates:  c.outOfOrder,
+		LastUpdateCost:     c.lastRes.Cost(),
+		LastUpdateCopyWork: c.lastRes.ForcedCopies + c.lastRes.CopyAhead,
+	}
+	if c.gd != nil {
+		st.PendingOutOfOrder = c.gd.Len()
+	}
+	return st
+}
+
+// Times returns the occurring time values in ascending order.
+func (c *Cube) Times() []int64 { return c.sum.Times() }
+
+// Retire materialises every historic slice completely — the data-aging
+// hook the paper's conclusion describes: once slices are complete they
+// can move to colder storage with their aggregates intact.
+func (c *Cube) Retire() error {
+	if err := c.sum.ForceComplete(); err != nil {
+		return err
+	}
+	if c.cnt != nil {
+		return c.cnt.ForceComplete()
+	}
+	return nil
+}
+
+// Age retires the oldest n historic slices to cold storage (Tiered
+// storage only): each is completed and demoted, its cumulative
+// aggregates retained at no extra cost. It returns the number of
+// slices demoted.
+func (c *Cube) Age(n int) (int, error) {
+	demoted, err := c.sum.Age(n)
+	if err != nil {
+		return demoted, err
+	}
+	if c.cnt != nil {
+		if _, err := c.cnt.Age(n); err != nil {
+			return demoted, err
+		}
+	}
+	return demoted, nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// Constraint restricts one named dimension to the closed range
+// [Lo, Hi]. Point constraints use Lo == Hi.
+type Constraint struct {
+	Lo, Hi int
+}
+
+// Point returns a point constraint.
+func Point(v int) Constraint { return Constraint{Lo: v, Hi: v} }
+
+// Span returns a range constraint.
+func Span(lo, hi int) Constraint { return Constraint{Lo: lo, Hi: hi} }
+
+// QueryNamed aggregates over the closed time range with per-dimension
+// constraints addressed by name; unconstrained dimensions cover their
+// whole domain. It is sugar over Query for ad-hoc analysis:
+//
+//	cube.QueryNamed(jan, mar, map[string]core.Constraint{
+//	    "store":   core.Point(3),
+//	    "product": core.Span(10, 19),
+//	})
+func (c *Cube) QueryNamed(timeLo, timeHi int64, constraints map[string]Constraint) (float64, error) {
+	lo := make([]int, len(c.shape))
+	hi := make([]int, len(c.shape))
+	for i, n := range c.shape {
+		hi[i] = n - 1
+	}
+	for name, cons := range constraints {
+		i, ok := c.byName[name]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown dimension %q", name)
+		}
+		lo[i] = cons.Lo
+		hi[i] = cons.Hi
+	}
+	return c.Query(Range{TimeLo: timeLo, TimeHi: timeHi, Lo: lo, Hi: hi})
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"histcube/internal/agg"
+)
+
+func TestSaveLoadRoundTripSum(t *testing.T) {
+	c, err := New(Config{
+		Dims:             []Dim{{Name: "a", Size: 6}, {Name: "b", Size: 5}},
+		Operator:         agg.Sum,
+		BufferOutOfOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(71))
+	var sh coreShadow
+	now := int64(1)
+	for i := 0; i < 300; i++ {
+		var tv int64
+		if r.Intn(8) == 0 {
+			tv = int64(r.Intn(int(now)))
+		} else {
+			if r.Intn(3) == 0 {
+				now++
+			}
+			tv = now
+		}
+		p := corePoint{t: tv, x: []int{r.Intn(6), r.Intn(5)}, v: float64(r.Intn(9) + 1)}
+		if err := c.Insert(p.t, p.x, p.v); err != nil {
+			t.Fatal(err)
+		}
+		sh = append(sh, p)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restored cube answers identically, including buffered
+	// out-of-order updates.
+	for q := 0; q < 100; q++ {
+		lo := []int{r.Intn(6), r.Intn(5)}
+		hi := []int{lo[0] + r.Intn(6-lo[0]), lo[1] + r.Intn(5-lo[1])}
+		tLo := int64(r.Intn(int(now) + 2))
+		rng := Range{TimeLo: tLo, TimeHi: tLo + int64(r.Intn(int(now)+2)), Lo: lo, Hi: hi}
+		want, err := c.Query(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Query(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("restored query %+v = %v, want %v", rng, got, want)
+		}
+		if naive := sh.eval(agg.Sum, rng); got != naive {
+			t.Fatalf("restored query %+v = %v, shadow %v", rng, got, naive)
+		}
+	}
+	st, bst := c.Stats(), back.Stats()
+	if bst.Slices != st.Slices || bst.PendingOutOfOrder != st.PendingOutOfOrder ||
+		bst.AppendedUpdates != st.AppendedUpdates || bst.OutOfOrderUpdates != st.OutOfOrderUpdates {
+		t.Errorf("stats differ: %+v vs %+v", bst, st)
+	}
+}
+
+func TestSaveLoadContinuesIngest(t *testing.T) {
+	// A restored cube must accept further appends seamlessly (the
+	// copy-ahead state survives the round trip).
+	c, _ := New(Config{Dims: []Dim{{Name: "x", Size: 8}}, Operator: agg.Sum})
+	for i := 0; i < 200; i++ {
+		if err := c.Insert(int64(i/20), []int{i % 8}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 400; i++ {
+		if err := back.Insert(int64(i/20), []int{i % 8}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(int64(i/20), []int{i % 8}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := int64(0); q < 20; q++ {
+		rng := Range{TimeLo: q, TimeHi: q + 3, Lo: []int{0}, Hi: []int{7}}
+		a, _ := c.Query(rng)
+		b, _ := back.Query(rng)
+		if a != b {
+			t.Fatalf("diverged after restore at window %d: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestSaveLoadAverage(t *testing.T) {
+	c, _ := New(Config{Dims: []Dim{{Name: "x", Size: 8}}, Operator: agg.Average, BufferOutOfOrder: true})
+	ins := []corePoint{{10, []int{1}, 4}, {20, []int{1}, 8}, {15, []int{2}, 6}}
+	for _, p := range ins {
+		if err := c.Insert(p.t, p.x, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := Range{TimeLo: 0, TimeHi: 30, Lo: []int{0}, Hi: []int{7}}
+	want, _ := c.Query(rng)
+	got, err := back.Query(rng)
+	if err != nil || got != want || got != 6 {
+		t.Fatalf("restored avg = %v (%v), want %v", got, err, want)
+	}
+}
+
+func TestSaveRejectsDiskCube(t *testing.T) {
+	c, _ := New(Config{Dims: []Dim{{Name: "x", Size: 8}}, Operator: agg.Sum, Storage: Storage{Kind: Disk}})
+	if err := c.Insert(1, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err == nil {
+		t.Error("disk-backed cube snapshot accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewBuffer(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// Property: save/load is lossless for random cubes and operators.
+func TestSnapshotLosslessProperty(t *testing.T) {
+	ops := []agg.Operator{agg.Sum, agg.Count, agg.Average}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, err := New(Config{
+			Dims:     []Dim{{Name: "x", Size: r.Intn(6) + 2}, {Name: "y", Size: r.Intn(6) + 2}},
+			Operator: ops[r.Intn(len(ops))],
+		})
+		if err != nil {
+			return false
+		}
+		shape := c.Shape()
+		now := int64(0)
+		for i := 0; i < 120; i++ {
+			if r.Intn(3) == 0 {
+				now++
+			}
+			if c.Insert(now, []int{r.Intn(shape[0]), r.Intn(shape[1])}, float64(r.Intn(20)+1)) != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if c.Save(&buf) != nil {
+			return false
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 25; q++ {
+			lo := []int{r.Intn(shape[0]), r.Intn(shape[1])}
+			hi := []int{lo[0] + r.Intn(shape[0]-lo[0]), lo[1] + r.Intn(shape[1]-lo[1])}
+			tLo := int64(r.Intn(int(now) + 2))
+			rng := Range{TimeLo: tLo, TimeHi: tLo + int64(r.Intn(int(now)+2)), Lo: lo, Hi: hi}
+			a, e1 := c.Query(rng)
+			b, e2 := back.Query(rng)
+			if e1 != nil || e2 != nil || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package ecube implements the Evolving Data Cube of Section 3.2 of
+// the paper: a (d-1)-dimensional array in which DDC-aggregated and
+// PS-aggregated cell values coexist, distinguished by a per-cell flag.
+// Prefix queries recursively rewrite DDC values into PS values
+// ("neighbouring" cells given by the DDC index sets), storing each
+// computed PS value back into its cell, so the array gradually and
+// adaptively converges from polylogarithmic DDC query cost towards
+// the constant 2^(d-1) PS query cost — without any eager
+// transformation pass.
+//
+// The query algorithm is expressed against the CellStore interface so
+// the same code drives both a standalone in-memory eCube (the Fig. 10
+// and 11 experiments) and the lazily materialised historic time slices
+// of the append-only cube (package appendcube).
+package ecube
+
+import (
+	"math/bits"
+
+	"histcube/internal/ddc"
+	"histcube/internal/dims"
+	"histcube/internal/molap"
+)
+
+// CellStore is the storage a query engine operates on: a flat
+// row-major array of cells, each holding either a DDC value or an
+// already-converted PS value.
+type CellStore interface {
+	// Load reads cell off and reports whether it already holds a PS
+	// value. Implementations count this as one cell access.
+	Load(off int) (val float64, ps bool)
+	// StorePS records the computed PS value for cell off and reports
+	// whether it was persisted. An implementation may decline (e.g.
+	// the disk store of Section 3.5, which keeps no flags); the engine
+	// then memoises the value for the remainder of the current query
+	// so the recursion stays within the DDC cost bound. A store that
+	// persists must return ps=true from subsequent Loads.
+	StorePS(off int, val float64) bool
+}
+
+// Engine evaluates prefix and range queries over mixed PS/DDC cells of
+// a fixed shape. It is stateless apart from the shape and may be
+// shared across many stores (all historic slices of a cube use one
+// Engine).
+type Engine struct {
+	shape   dims.Shape
+	strides []int
+}
+
+// NewEngine returns an Engine for (d-1)-dimensional slices of the
+// given shape.
+func NewEngine(shape dims.Shape) (*Engine, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{shape: shape.Clone(), strides: shape.Strides()}, nil
+}
+
+// Shape returns the engine's slice shape.
+func (en *Engine) Shape() dims.Shape { return en.shape }
+
+// Prefix computes P[x] = aggregate over the box [0..x] in every
+// dimension, converting every DDC cell it touches to PS via StorePS.
+//
+// The recursion follows the paper's eCube algorithm (Fig. 6): a DDC
+// cell's value covers the box [RangeStart(x_i)..x_i] per dimension, so
+// P(x) = DDC(x) + sum over non-empty subsets S of dimensions of
+// (-1)^(|S|+1) * P(x with x_i replaced by RangeStart(x_i)-1 for i in
+// S), where a sub-prefix with any coordinate -1 is zero. The
+// sub-prefix coordinates are exactly the predecessors in the DDC
+// prefix index chains, so the worst case touches no more cells than
+// the plain DDC algorithm.
+func (en *Engine) Prefix(cs CellStore, x []int) float64 {
+	if !en.shape.Contains(x) {
+		panic("ecube: prefix coordinate outside shape")
+	}
+	return en.prefixRec(cs, x, &evalCtx{})
+}
+
+// evalCtx carries per-evaluation state: PS values the store declined
+// to persist, memoised so the recursion stays within the DDC cost
+// bound. The map is allocated on the first declined StorePS only.
+type evalCtx struct {
+	memo map[int]float64
+}
+
+func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
+	off := 0
+	for i, c := range x {
+		off += c * en.strides[i]
+	}
+	if v, ok := ctx.memo[off]; ok {
+		return v
+	}
+	val, ps := cs.Load(off)
+	if ps {
+		return val
+	}
+	d := len(x)
+	starts := make([]int, d)
+	for i := range x {
+		starts[i] = ddc.RangeStart(en.shape[i], x[i])
+	}
+	sub := make([]int, d)
+	for mask := 1; mask < 1<<uint(d); mask++ {
+		feasible := true
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub[i] = starts[i] - 1
+				if sub[i] < 0 {
+					feasible = false
+					break
+				}
+			} else {
+				sub[i] = x[i]
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if bits.OnesCount(uint(mask))%2 == 1 {
+			val += en.prefixRec(cs, sub, ctx)
+		} else {
+			val -= en.prefixRec(cs, sub, ctx)
+		}
+	}
+	if !cs.StorePS(off, val) {
+		if ctx.memo == nil {
+			ctx.memo = make(map[int]float64)
+		}
+		ctx.memo[off] = val
+	}
+	return val
+}
+
+// Range computes the aggregate over the closed box using the PS
+// reduction: at most 2^d corner prefix queries with alternating signs,
+// corners with a -1 coordinate contributing zero.
+func (en *Engine) Range(cs CellStore, b dims.Box) (float64, error) {
+	if err := b.Validate(en.shape); err != nil {
+		return 0, err
+	}
+	d := len(en.shape)
+	corner := make([]int, d)
+	total := 0.0
+	ctx := &evalCtx{}
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		feasible := true
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				corner[i] = b.Lo[i] - 1
+				if corner[i] < 0 {
+					feasible = false
+					break
+				}
+			} else {
+				corner[i] = b.Hi[i]
+			}
+		}
+		if !feasible {
+			continue
+		}
+		p := en.prefixRec(cs, corner, ctx)
+		if bits.OnesCount(uint(mask))%2 == 0 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	return total, nil
+}
+
+// Array is a standalone in-memory eCube: cells start as DDC values and
+// evolve to PS as queries touch them. Accesses counts cell reads and
+// writes (the paper's cost metric); Conversions counts DDC->PS cell
+// rewrites.
+type Array struct {
+	en          *Engine
+	cells       []float64
+	ps          []bool
+	Accesses    int64
+	Conversions int64
+}
+
+// FromDDC builds an eCube from a DDC-aggregated array (all dimensions
+// must use the DDC technique). The source array's cells are copied.
+func FromDDC(a *molap.Array) (*Array, error) {
+	for _, t := range a.Techniques() {
+		if t.Name() != "DDC" {
+			return nil, errNotDDC
+		}
+	}
+	en, err := NewEngine(a.Shape())
+	if err != nil {
+		return nil, err
+	}
+	return &Array{
+		en:    en,
+		cells: append([]float64(nil), a.Cells()...),
+		ps:    make([]bool, a.Shape().Size()),
+	}, nil
+}
+
+// FromDense pre-aggregates a dense original array with DDC in every
+// dimension and wraps it as an eCube.
+func FromDense(data []float64, shape dims.Shape) (*Array, error) {
+	a, err := ddc.FromDense(data, shape)
+	if err != nil {
+		return nil, err
+	}
+	return FromDDC(a)
+}
+
+var errNotDDC = errValue("ecube: source array must be DDC-aggregated in every dimension")
+
+type errValue string
+
+func (e errValue) Error() string { return string(e) }
+
+// Shape returns the array's shape.
+func (a *Array) Shape() dims.Shape { return a.en.Shape() }
+
+// Load implements CellStore.
+func (a *Array) Load(off int) (float64, bool) {
+	a.Accesses++
+	return a.cells[off], a.ps[off]
+}
+
+// StorePS implements CellStore. The write is not counted as a cell
+// access: the paper observes that "since only accessed cells are
+// transformed, the actual transformation does not incur any access
+// overhead" — the cell was just loaded and is rewritten in place.
+func (a *Array) StorePS(off int, val float64) bool {
+	a.cells[off] = val
+	a.ps[off] = true
+	a.Conversions++
+	return true
+}
+
+// PrefixQuery computes P[x], converting touched cells to PS.
+func (a *Array) PrefixQuery(x []int) float64 { return a.en.Prefix(a, x) }
+
+// Query computes the aggregate over the closed box.
+func (a *Array) Query(b dims.Box) (float64, error) { return a.en.Range(a, b) }
+
+// Converted returns the number of cells currently holding PS values.
+func (a *Array) Converted() int {
+	n := 0
+	for _, p := range a.ps {
+		if p {
+			n++
+		}
+	}
+	return n
+}

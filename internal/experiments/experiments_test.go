@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"testing"
+
+	"histcube/internal/workload"
+)
+
+// The experiment drivers validate result values internally (each
+// technique must agree with the others on every query); these tests
+// additionally assert the qualitative shapes the paper reports, at a
+// small scale so the suite stays fast.
+
+func TestTable3Shapes(t *testing.T) {
+	rows := Table3(0.005)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	wantDensity := map[string]float64{"weather4": 0.0073, "weather6": 0.0039, "gauss3": 0.048}
+	wantDims := map[string]int{"weather4": 4, "weather6": 6, "gauss3": 3}
+	for _, r := range rows {
+		base := r.Name[:len(r.Name)-len("@0.005")]
+		if r.Dims != wantDims[base] {
+			t.Errorf("%s: dims = %d, want %d", r.Name, r.Dims, wantDims[base])
+		}
+		w := wantDensity[base]
+		if r.Density < w/3 || r.Density > w*3 {
+			t.Errorf("%s: density %.4f not within 3x of paper's %.4f", r.Name, r.Density, w)
+		}
+		if r.NonEmpty == 0 || r.TotalCells == 0 {
+			t.Errorf("%s: empty dataset", r.Name)
+		}
+	}
+}
+
+func TestQueryCostConvergence(t *testing.T) {
+	// Figure 10's shape: eCube starts above DDC (two-prefix reduction)
+	// and converges towards the PS bound; DDC and PS stay flat.
+	res, err := QueryCost(0.01, 1500, false, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ECubeFirst <= res.DDCAvg {
+		t.Errorf("eCube first window %.1f should start above DDC avg %.1f", res.ECubeFirst, res.DDCAvg)
+	}
+	if res.ECubeLast >= res.ECubeFirst/2 {
+		t.Errorf("no convergence: first %.1f, last %.1f", res.ECubeFirst, res.ECubeLast)
+	}
+	if res.ECubeLast >= res.DDCAvg {
+		t.Errorf("converged eCube %.1f should be below DDC %.1f", res.ECubeLast, res.DDCAvg)
+	}
+	if res.PSAvg > 8 {
+		t.Errorf("PS average %.1f exceeds the 2^d bound for 3-d slices", res.PSAvg)
+	}
+	if res.Converted == 0 || res.Converted > res.SliceCells {
+		t.Errorf("converted = %d of %d", res.Converted, res.SliceCells)
+	}
+}
+
+func TestQueryCostSkewConvergesFaster(t *testing.T) {
+	// Figure 11: skewed queries concentrate conversions, so the tail
+	// cost drops at least as low with fewer conversions overall.
+	uni, err := QueryCost(0.01, 1500, false, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := QueryCost(0.01, 1500, true, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.Converted >= uni.Converted {
+		t.Errorf("skew converted %d cells, uni %d; skew should touch a smaller region", skew.Converted, uni.Converted)
+	}
+	if skew.ECubeLast > skew.ECubeFirst/2 {
+		t.Errorf("skew did not converge: first %.1f last %.1f", skew.ECubeFirst, skew.ECubeLast)
+	}
+}
+
+func TestUpdateCostCurves(t *testing.T) {
+	// Figure 12/13 shape: the with-copy curve dominates the
+	// without-copy curve pointwise (both sorted), and the copy work is
+	// positive but bounded.
+	for _, spec := range []workload.Spec{workload.Weather6Spec, workload.Gauss3Spec} {
+		res, err := UpdateCost(spec, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Updates == 0 {
+			t.Fatalf("%s: no updates", spec.Name)
+		}
+		if len(res.SortedWith) != res.Updates || len(res.SortedWithout) != res.Updates {
+			t.Fatalf("%s: curve lengths wrong", spec.Name)
+		}
+		for i := range res.SortedWith {
+			if res.SortedWith[i] < res.SortedWithout[i] {
+				t.Fatalf("%s: sorted with-copy curve below without-copy at rank %d", spec.Name, i)
+			}
+			if i > 0 && res.SortedWith[i] < res.SortedWith[i-1] {
+				t.Fatalf("%s: with-copy curve not sorted", spec.Name)
+			}
+		}
+		if res.TotalCopy <= 0 {
+			t.Errorf("%s: no copy work recorded", spec.Name)
+		}
+		if res.P50 > res.P90 || res.P90 > res.P99 {
+			t.Errorf("%s: quantiles out of order: %v %v %v", spec.Name, res.P50, res.P90, res.P99)
+		}
+	}
+}
+
+func TestTable4Bounds(t *testing.T) {
+	rows, err := Table4(0.01, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Min != 0 {
+			t.Errorf("%s/%s: min = %d, want 0", r.Dataset, r.Mode, r.Min)
+		}
+		switch r.Mode {
+		case "disk":
+			// The paper: never more than one incomplete instance.
+			if r.Max > 1 {
+				t.Errorf("%s/disk: max = %d, want <= 1", r.Dataset, r.Max)
+			}
+		case "in-memory":
+			// The paper observes 0-5; the adaptive budget keeps it
+			// small.
+			if r.Max > 6 {
+				t.Errorf("%s/in-memory: max = %d, want small", r.Dataset, r.Max)
+			}
+			if r.MostFrequent > 3 {
+				t.Errorf("%s/in-memory: most frequent = %d, want <= 3", r.Dataset, r.MostFrequent)
+			}
+		default:
+			t.Errorf("unknown mode %q", r.Mode)
+		}
+	}
+}
+
+func TestIOCostRuns(t *testing.T) {
+	// At reduced scale the R*-tree has few leaves and can win; the
+	// full-scale ordering (array wins, as in Fig. 14) is recorded by
+	// the histbench run in EXPERIMENTS.md. Here: both cost models
+	// produce sane, internally-consistent results (the driver verifies
+	// every query's value against both structures).
+	res, err := IOCost(0.02, 300, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArrayAvg <= 0 || res.RTreeAvg <= 0 {
+		t.Errorf("non-positive averages: %v %v", res.ArrayAvg, res.RTreeAvg)
+	}
+	if res.Queries != 300 {
+		t.Errorf("queries = %d", res.Queries)
+	}
+	if res.TreeLeaves == 0 || res.TreeHeight == 0 {
+		t.Errorf("tree stats empty: %+v", res)
+	}
+	for i := 1; i < len(res.SortedArray); i++ {
+		if res.SortedArray[i] < res.SortedArray[i-1] {
+			t.Fatal("array curve not sorted")
+		}
+	}
+}
+
+func TestOutOfOrderSweep(t *testing.T) {
+	rows, err := OutOfOrderSweep(0.003, []float64{0, 5, 25}, 120, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Buffered != 0 {
+		t.Errorf("0%% sweep buffered %d updates", rows[0].Buffered)
+	}
+	// Graceful degradation: buffered counts and G_d work grow with the
+	// out-of-order share.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Buffered <= rows[i-1].Buffered {
+			t.Errorf("buffered not increasing: %v", rows)
+		}
+		if rows[i].TreeLeaves < rows[i-1].TreeLeaves {
+			t.Errorf("tree leaf work not monotone: %v", rows)
+		}
+	}
+	// The indexed G_d does far less work per query than the scan.
+	last := rows[len(rows)-1]
+	if last.TreeLeaves >= last.ListChecks {
+		t.Errorf("R*-tree G_d (%d leaf reads) should beat the %d list checks", last.TreeLeaves, last.ListChecks)
+	}
+}

@@ -1,0 +1,110 @@
+package molap_test
+
+// Mixed-technique arrays: the paper's Figure 5 combination (PS along
+// the TT-dimension, DDC along the others) built statically through the
+// molap combination machinery, validated against naive sums.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"histcube/internal/ddc"
+	"histcube/internal/dims"
+	"histcube/internal/molap"
+	"histcube/internal/prefix"
+)
+
+func TestFigure5PSxDDCCombination(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	shape := dims.Shape{12, 9, 7} // time x two slice dims
+	data := make([]float64, shape.Size())
+	for i := range data {
+		data[i] = float64(r.Intn(8))
+	}
+	a, err := molap.FromDense(data, shape, []molap.Technique{prefix.PS{}, ddc.DDC{}, ddc.DDC{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := make([]int, 3)
+		hi := make([]int, 3)
+		for i, n := range shape {
+			lo[i] = r.Intn(n)
+			hi[i] = lo[i] + r.Intn(n-lo[i])
+		}
+		b := dims.Box{Lo: lo, Hi: hi}
+		got, err := a.Query(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		b.Iter(func(x []int) { want += data[shape.Flatten(x)] })
+		if got != want {
+			t.Fatalf("PSxDDCxDDC Query(%v) = %v, want %v", b, got, want)
+		}
+	}
+	// A prefix time query (half-open in time) costs 1 cell in the time
+	// dimension times the DDC chains in the others.
+	a.Accesses = 0
+	if _, err := a.Query(dims.NewBox([]int{0, 2, 3}, []int{7, 5, 6})); err != nil {
+		t.Fatal(err)
+	}
+	bound := int64(1 * 2 * ddc.MaxChainLen(9) * 2 * ddc.MaxChainLen(7))
+	if a.Accesses > bound {
+		t.Errorf("prefix-time query cost %d exceeds PSxDDC bound %d", a.Accesses, bound)
+	}
+}
+
+// Property: any random assignment of {Raw, PS, DDC} to dimensions
+// yields correct range sums under interleaved updates.
+func TestRandomTechniqueMixProperty(t *testing.T) {
+	techs := []molap.Technique{molap.Raw{}, prefix.PS{}, ddc.DDC{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := r.Intn(3) + 1
+		shape := make(dims.Shape, d)
+		mix := make([]molap.Technique, d)
+		for i := range shape {
+			shape[i] = r.Intn(8) + 1
+			mix[i] = techs[r.Intn(len(techs))]
+		}
+		a, err := molap.New(shape, mix)
+		if err != nil {
+			return false
+		}
+		shadow := make([]float64, shape.Size())
+		x := make([]int, d)
+		for op := 0; op < 40; op++ {
+			if r.Intn(2) == 0 {
+				for i, n := range shape {
+					x[i] = r.Intn(n)
+				}
+				delta := float64(r.Intn(9) - 4)
+				a.Update(x, delta)
+				shadow[shape.Flatten(x)] += delta
+			} else {
+				lo := make([]int, d)
+				hi := make([]int, d)
+				for i, n := range shape {
+					lo[i] = r.Intn(n)
+					hi[i] = lo[i] + r.Intn(n-lo[i])
+				}
+				b := dims.Box{Lo: lo, Hi: hi}
+				got, err := a.Query(b)
+				if err != nil {
+					return false
+				}
+				want := 0.0
+				b.Iter(func(y []int) { want += shadow[shape.Flatten(y)] })
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package rstar
+
+// rect is a closed axis-aligned integer rectangle (the MBR of a node
+// or entry).
+type rect struct {
+	lo, hi []int
+}
+
+func pointRect(x []int) rect {
+	return rect{lo: append([]int(nil), x...), hi: append([]int(nil), x...)}
+}
+
+func (r rect) clone() rect {
+	return rect{lo: append([]int(nil), r.lo...), hi: append([]int(nil), r.hi...)}
+}
+
+// extend grows r in place to cover o.
+func (r *rect) extend(o rect) {
+	for i := range r.lo {
+		if o.lo[i] < r.lo[i] {
+			r.lo[i] = o.lo[i]
+		}
+		if o.hi[i] > r.hi[i] {
+			r.hi[i] = o.hi[i]
+		}
+	}
+}
+
+// area returns the volume (product of side lengths; sides are
+// inclusive, so a point has volume 1).
+func (r rect) area() float64 {
+	a := 1.0
+	for i := range r.lo {
+		a *= float64(r.hi[i] - r.lo[i] + 1)
+	}
+	return a
+}
+
+// margin returns the sum of side lengths.
+func (r rect) margin() float64 {
+	m := 0.0
+	for i := range r.lo {
+		m += float64(r.hi[i] - r.lo[i] + 1)
+	}
+	return m
+}
+
+// enlargement returns the area growth if r were extended to cover o.
+func (r rect) enlargement(o rect) float64 {
+	a := 1.0
+	for i := range r.lo {
+		lo, hi := r.lo[i], r.hi[i]
+		if o.lo[i] < lo {
+			lo = o.lo[i]
+		}
+		if o.hi[i] > hi {
+			hi = o.hi[i]
+		}
+		a *= float64(hi - lo + 1)
+	}
+	return a - r.area()
+}
+
+// intersects reports whether r and o overlap (closed semantics).
+func (r rect) intersects(o rect) bool {
+	for i := range r.lo {
+		if o.hi[i] < r.lo[i] || o.lo[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsRect reports whether r fully contains o.
+func (r rect) containsRect(o rect) bool {
+	for i := range r.lo {
+		if o.lo[i] < r.lo[i] || o.hi[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPoint reports whether the point lies inside r.
+func (r rect) containsPoint(x []int) bool {
+	for i := range r.lo {
+		if x[i] < r.lo[i] || x[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlap returns the intersection volume of r and o (0 if disjoint).
+func (r rect) overlap(o rect) float64 {
+	v := 1.0
+	for i := range r.lo {
+		lo, hi := r.lo[i], r.hi[i]
+		if o.lo[i] > lo {
+			lo = o.lo[i]
+		}
+		if o.hi[i] < hi {
+			hi = o.hi[i]
+		}
+		if hi < lo {
+			return 0
+		}
+		v *= float64(hi - lo + 1)
+	}
+	return v
+}
+
+// centerDist2 returns the squared distance between the centers of r
+// and o (in doubled coordinates to stay integral).
+func (r rect) centerDist2(o rect) float64 {
+	d := 0.0
+	for i := range r.lo {
+		c1 := float64(r.lo[i] + r.hi[i])
+		c2 := float64(o.lo[i] + o.hi[i])
+		d += (c1 - c2) * (c1 - c2)
+	}
+	return d
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortedDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Sorted(xs)
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("Sorted = %v", got)
+	}
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestRollingAvg(t *testing.T) {
+	xs := []float64{2, 4, 6, 8, 10}
+	got := RollingAvg(xs, 2)
+	want := []float64{3, 7, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RollingAvg = %v, want %v", got, want)
+	}
+	if got := RollingAvg(xs, 1); !reflect.DeepEqual(got, xs) {
+		t.Errorf("window 1 = %v", got)
+	}
+	if got := RollingAvg(nil, 5); got != nil {
+		t.Errorf("empty input = %v", got)
+	}
+}
+
+func TestFreqTracker(t *testing.T) {
+	f := NewFreqTracker()
+	if f.MostFrequent() != 0 || f.Min() != 0 || f.Max() != 0 || f.N() != 0 {
+		t.Error("empty tracker not zeroed")
+	}
+	for _, v := range []int{2, 1, 2, 5, 2, 1, 0} {
+		f.Observe(v)
+	}
+	if f.Min() != 0 {
+		t.Errorf("Min = %d", f.Min())
+	}
+	if f.Max() != 5 {
+		t.Errorf("Max = %d", f.Max())
+	}
+	if f.MostFrequent() != 2 {
+		t.Errorf("MostFrequent = %d", f.MostFrequent())
+	}
+	if f.Count(1) != 2 {
+		t.Errorf("Count(1) = %d", f.Count(1))
+	}
+	if f.N() != 7 {
+		t.Errorf("N = %d", f.N())
+	}
+	vals, counts := f.Histogram()
+	if !reflect.DeepEqual(vals, []int{0, 1, 2, 5}) || !reflect.DeepEqual(counts, []int{1, 2, 3, 1}) {
+		t.Errorf("Histogram = %v %v", vals, counts)
+	}
+}
+
+func TestFreqTrackerTieBreaksLow(t *testing.T) {
+	f := NewFreqTracker()
+	f.Observe(7)
+	f.Observe(3)
+	if got := f.MostFrequent(); got != 3 {
+		t.Errorf("tie broke to %d, want 3", got)
+	}
+}
+
+// Property: quantile of any slice lies within [min, max] and Sorted
+// output is ascending.
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(seed int64, qRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(100))
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		s := Sorted(xs)
+		if !sort.Float64sAreSorted(s) {
+			return false
+		}
+		return v >= s[0] && v <= s[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RollingAvg preserves the overall mean when all groups are
+// full (window divides length).
+func TestRollingAvgMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		window := r.Intn(5) + 2
+		groups := r.Intn(6) + 1
+		xs := make([]float64, window*groups)
+		for i := range xs {
+			xs[i] = float64(r.Intn(50))
+		}
+		avg := RollingAvg(xs, window)
+		if len(avg) != groups {
+			return false
+		}
+		diff := Mean(avg) - Mean(xs)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"histcube/internal/dims"
+)
+
+// WriteCSV streams the dataset as CSV: a header line with the
+// geometry, then one line per update "time,c1,...,cd,delta".
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name=%s slice=%s time=%d\n", d.Name, shapeString(d.SliceShape), d.TimeSize); err != nil {
+		return err
+	}
+	for _, u := range d.Updates {
+		if _, err := fmt.Fprintf(bw, "%d", u.Time); err != nil {
+			return err
+		}
+		for _, c := range u.Coords {
+			if _, err := fmt.Fprintf(bw, ",%d", c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, ",%g\n", u.Delta); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func shapeString(s dims.Shape) string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "x")
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("workload: empty input")
+	}
+	header := sc.Text()
+	d := &Dataset{}
+	var shapeStr string
+	if _, err := fmt.Sscanf(header, "# name=%s slice=%s time=%d", &d.Name, &shapeStr, &d.TimeSize); err != nil {
+		return nil, fmt.Errorf("workload: bad header %q: %w", header, err)
+	}
+	for _, part := range strings.Split(shapeStr, "x") {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad shape %q: %w", shapeStr, err)
+		}
+		d.SliceShape = append(d.SliceShape, n)
+	}
+	dimsN := len(d.SliceShape)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != dimsN+2 {
+			return nil, fmt.Errorf("workload: line %q has %d fields, want %d", line, len(fields), dimsN+2)
+		}
+		tv, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad time in %q: %w", line, err)
+		}
+		coords := make([]int, dimsN)
+		for i := 0; i < dimsN; i++ {
+			coords[i], err = strconv.Atoi(fields[1+i])
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad coordinate in %q: %w", line, err)
+			}
+		}
+		delta, err := strconv.ParseFloat(fields[dimsN+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad delta in %q: %w", line, err)
+		}
+		d.Updates = append(d.Updates, Update{Time: tv, Coords: coords, Delta: delta})
+	}
+	return d, sc.Err()
+}

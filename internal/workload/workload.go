@@ -1,0 +1,344 @@
+// Package workload generates the data sets and query sets of the
+// paper's evaluation (Section 5, Table 3). The original cloud
+// observation data (Hahn/Warren/London, NDP-026B) is not
+// redistributable, so the generators produce synthetic equivalents
+// with the same dimensionality, domain sizes, cell counts, densities
+// and clustering character; every metric the paper reports is a
+// deterministic cell or page access count, which depends only on that
+// geometry and on the query/update distributions, not on the actual
+// measure values.
+//
+//	weather4 — COUNT cube, 4 dims (lat x lon at 1 degree, total cloud
+//	           cover, time); ~143.6M cells, ~1.05M non-empty (0.0073)
+//	weather6 — SUM cube, 6 dims (lat x lon at 10 degrees, total cloud
+//	           cover, lower amount, middle amount, time); ~139.8M
+//	           cells, ~0.55M non-empty (0.0039)
+//	gauss3   — SUM cube, 3 dims of 271 with 60 gaussian clusters;
+//	           19,902,511 cells, ~0.95M non-empty (0.048)
+//
+// Query sets follow Section 5's mixes: "uni" draws each dimension's
+// predicate as prefix range (0.1), general range (0.7), point (0.1) or
+// complete domain (0.1); "skew" concentrates 80% of queries in a
+// sub-region 0.5^d the size of the data space.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"histcube/internal/dims"
+)
+
+// Update is one append event: a point in the cube receives a delta at
+// a transaction time.
+type Update struct {
+	Time   int64
+	Coords []int
+	Delta  float64
+}
+
+// Dataset is a generated workload: a cube geometry plus its update
+// stream in transaction-time order.
+type Dataset struct {
+	Name       string
+	SliceShape dims.Shape // the d-1 non-time dimensions
+	TimeSize   int        // domain size of the TT-dimension
+	Updates    []Update   // sorted by Time
+}
+
+// TotalCells returns the full cube size including the TT-dimension.
+func (d *Dataset) TotalCells() int { return d.SliceShape.Size() * d.TimeSize }
+
+// NonEmpty counts distinct (time, coords) cells touched by updates.
+func (d *Dataset) NonEmpty() int {
+	seen := make(map[string]struct{}, len(d.Updates))
+	key := make([]byte, 0, 32)
+	for _, u := range d.Updates {
+		key = key[:0]
+		key = appendInt(key, int(u.Time))
+		for _, c := range u.Coords {
+			key = appendInt(key, c)
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+}
+
+// Density returns NonEmpty / TotalCells.
+func (d *Dataset) Density() float64 {
+	return float64(d.NonEmpty()) / float64(d.TotalCells())
+}
+
+// Spec describes a dataset generator configuration.
+type Spec struct {
+	Name       string
+	SliceShape dims.Shape
+	TimeSize   int
+	// Points is the number of update events to generate.
+	Points int
+	// Clusters is the number of spatial clusters (0 = uniform).
+	Clusters int
+	// ClusterSigmaFrac is each cluster's gaussian sigma as a fraction
+	// of the domain size (default 0.05).
+	ClusterSigmaFrac float64
+	// TimeClustered adds the TT-dimension to the clustering (gauss3
+	// style: update volume varies per slice); otherwise times are
+	// drawn with a smooth seasonal weight (weather style).
+	TimeClustered bool
+	// CountSemantics makes every delta 1 (COUNT cube); otherwise
+	// deltas are small positive integers (SUM cube).
+	CountSemantics bool
+	Seed           int64
+}
+
+// Paper-scale specs matching Table 3.
+var (
+	// Weather4Spec: 180x360x9 slices x 246 times = 143,467,200 cells,
+	// 1,048,679 points (density 0.0073).
+	Weather4Spec = Spec{
+		Name:       "weather4",
+		SliceShape: dims.Shape{180, 360, 9},
+		TimeSize:   246,
+		Points:     1048679,
+		Clusters:   40,
+		Seed:       41,
+		// COUNT data cube, per Table 3.
+		CountSemantics: true,
+	}
+	// Weather6Spec: 18x36x9x9x9 slices x 296 times = 139,828,032
+	// cells, 549,010 points (density 0.0039).
+	Weather6Spec = Spec{
+		Name:       "weather6",
+		SliceShape: dims.Shape{18, 36, 9, 9, 9},
+		TimeSize:   296,
+		Points:     549010,
+		Clusters:   40,
+		Seed:       42,
+	}
+	// Gauss3Spec: 271x271 slices x 271 times = 19,902,511 cells,
+	// 950,633 points in 60 dense clusters (density 0.048).
+	Gauss3Spec = Spec{
+		Name:          "gauss3",
+		SliceShape:    dims.Shape{271, 271},
+		TimeSize:      271,
+		Points:        950633,
+		Clusters:      60,
+		TimeClustered: true,
+		Seed:          43,
+	}
+)
+
+// Scaled returns the spec shrunk so the total cell count is roughly
+// scale times the original, preserving density, dimensionality and
+// clustering character. scale >= 1 returns the spec unchanged.
+func (s Spec) Scaled(scale float64) Spec {
+	if scale >= 1 {
+		return s
+	}
+	d := len(s.SliceShape) + 1
+	f := math.Pow(scale, 1/float64(d))
+	out := s
+	out.Name = fmt.Sprintf("%s@%.3g", s.Name, scale)
+	out.SliceShape = make(dims.Shape, len(s.SliceShape))
+	for i, n := range s.SliceShape {
+		out.SliceShape[i] = scaleDim(n, f)
+	}
+	out.TimeSize = scaleDim(s.TimeSize, f)
+	cellRatio := float64(out.SliceShape.Size()*out.TimeSize) / float64(s.SliceShape.Size()*s.TimeSize)
+	out.Points = int(float64(s.Points) * cellRatio)
+	if out.Points < 100 {
+		out.Points = 100
+	}
+	return out
+}
+
+func scaleDim(n int, f float64) int {
+	v := int(math.Round(float64(n) * f))
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// Generate produces the dataset for the spec, deterministically from
+// its seed.
+func Generate(s Spec) *Dataset {
+	r := rand.New(rand.NewSource(s.Seed))
+	d := len(s.SliceShape)
+	sigFrac := s.ClusterSigmaFrac
+	if sigFrac == 0 {
+		sigFrac = 0.05
+	}
+
+	// Cluster centres over the slice dimensions (and optionally time).
+	type center struct {
+		slice []float64
+		time  float64
+		w     float64
+	}
+	var centers []center
+	if s.Clusters > 0 {
+		centers = make([]center, s.Clusters)
+		totalW := 0.0
+		for i := range centers {
+			c := center{slice: make([]float64, d), w: 0.5 + r.Float64()}
+			for j, n := range s.SliceShape {
+				c.slice[j] = r.Float64() * float64(n)
+			}
+			c.time = r.Float64() * float64(s.TimeSize)
+			totalW += c.w
+			centers[i] = c
+		}
+		for i := range centers {
+			centers[i].w /= totalW
+		}
+	}
+
+	pick := func() int {
+		u := r.Float64()
+		acc := 0.0
+		for i, c := range centers {
+			acc += c.w
+			if u <= acc {
+				return i
+			}
+		}
+		return len(centers) - 1
+	}
+
+	updates := make([]Update, 0, s.Points)
+	for i := 0; i < s.Points; i++ {
+		coords := make([]int, d)
+		var tv int64
+		if s.Clusters == 0 {
+			for j, n := range s.SliceShape {
+				coords[j] = r.Intn(n)
+			}
+			tv = int64(r.Intn(s.TimeSize))
+		} else {
+			c := centers[pick()]
+			for j, n := range s.SliceShape {
+				coords[j] = clampInt(int(math.Round(c.slice[j]+r.NormFloat64()*sigFrac*float64(n))), 0, n-1)
+			}
+			if s.TimeClustered {
+				tv = int64(clampInt(int(math.Round(c.time+r.NormFloat64()*sigFrac*float64(s.TimeSize))), 0, s.TimeSize-1))
+			} else {
+				// Seasonal weighting: a smooth sinusoid over the time
+				// domain, as observation volume varies over the year.
+				for {
+					cand := r.Intn(s.TimeSize)
+					season := 0.6 + 0.4*math.Sin(2*math.Pi*float64(cand)/float64(s.TimeSize))
+					if r.Float64() <= season {
+						tv = int64(cand)
+						break
+					}
+				}
+			}
+		}
+		delta := 1.0
+		if !s.CountSemantics {
+			delta = float64(r.Intn(8) + 1)
+		}
+		updates = append(updates, Update{Time: tv, Coords: coords, Delta: delta})
+	}
+	sort.SliceStable(updates, func(i, j int) bool { return updates[i].Time < updates[j].Time })
+	return &Dataset{
+		Name:       s.Name,
+		SliceShape: s.SliceShape.Clone(),
+		TimeSize:   s.TimeSize,
+		Updates:    updates,
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Boxes generates n range queries over the shape with the paper's
+// "uni" predicate mix, or the "skew" variant when skew is true.
+func Boxes(r *rand.Rand, shape dims.Shape, n int, skew bool) []dims.Box {
+	out := make([]dims.Box, n)
+	for i := range out {
+		constrained := skew && r.Float64() < 0.8
+		out[i] = oneBox(r, shape, constrained)
+	}
+	return out
+}
+
+// oneBox draws one query. When constrained, range endpoints are drawn
+// from the central sub-region covering half of each dimension (a
+// region of size 0.5^d of the data space).
+func oneBox(r *rand.Rand, shape dims.Shape, constrained bool) dims.Box {
+	lo := make([]int, len(shape))
+	hi := make([]int, len(shape))
+	for i, n := range shape {
+		rLo, rHi := 0, n-1
+		if constrained {
+			rLo = n / 4
+			rHi = rLo + n/2 - 1
+			if rHi >= n {
+				rHi = n - 1
+			}
+			if rHi < rLo {
+				rHi = rLo
+			}
+		}
+		span := rHi - rLo + 1
+		u := r.Float64()
+		switch {
+		case u < 0.1: // prefix range: min <= x <= A
+			lo[i] = 0
+			hi[i] = rLo + r.Intn(span)
+		case u < 0.8: // general range: A <= x <= B
+			a := rLo + r.Intn(span)
+			b := rLo + r.Intn(span)
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		case u < 0.9: // point: x = A
+			a := rLo + r.Intn(span)
+			lo[i], hi[i] = a, a
+		default: // complete domain
+			lo[i], hi[i] = 0, n-1
+		}
+	}
+	return dims.Box{Lo: lo, Hi: hi}
+}
+
+// TimeQuery is a cube-level query: a time range plus a box over the
+// slice dimensions.
+type TimeQuery struct {
+	TimeLo, TimeHi int64
+	Box            dims.Box
+}
+
+// TimeQueries generates n cube-level queries: the TT-dimension is
+// treated as one more dimension of the mix, then split off.
+func TimeQueries(r *rand.Rand, sliceShape dims.Shape, timeSize, n int, skew bool) []TimeQuery {
+	full := make(dims.Shape, 0, len(sliceShape)+1)
+	full = append(full, timeSize)
+	full = append(full, sliceShape...)
+	boxes := Boxes(r, full, n, skew)
+	out := make([]TimeQuery, n)
+	for i, b := range boxes {
+		out[i] = TimeQuery{
+			TimeLo: int64(b.Lo[0]),
+			TimeHi: int64(b.Hi[0]),
+			Box:    dims.Box{Lo: b.Lo[1:], Hi: b.Hi[1:]},
+		}
+	}
+	return out
+}
