@@ -1,0 +1,21 @@
+# Developer entry points; `make check` is the CI gate.
+
+.PHONY: check build test race bench fmt
+
+check:
+	./check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 verification gate: the exact checks CI runs (see
+# .github/workflows/ci.yml), runnable locally as `./check.sh` or
+# `make check`.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== ok =="

@@ -13,18 +13,25 @@
 //	-queries n  number of queries for fig10/fig11/fig14
 //	-series     also print the full per-point series as CSV
 //	-seed n     RNG seed
+//	-json path  write a machine-readable report (p50/p90/p99/mean per
+//	            cost curve, plus wall-clock seconds per experiment) to
+//	            path, or to stdout with "-"
 //
 // Costs are cell accesses (in-memory experiments) or page accesses
-// (disk experiments), the paper's hardware-independent metric.
+// (disk experiments), the paper's hardware-independent metric; the
+// JSON digests use the same nearest-rank quantiles as the server's
+// live histograms (internal/stats, internal/obs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"histcube/internal/experiments"
+	"histcube/internal/obs"
 	"histcube/internal/workload"
 )
 
@@ -35,17 +42,25 @@ func main() {
 		queries = flag.Int("queries", 0, "query count for fig10/fig11/fig14 (0 = paper default)")
 		series  = flag.Bool("series", false, "print full per-point series as CSV")
 		seed    = flag.Int64("seed", 1, "RNG seed")
+		jsonOut = flag.String("json", "", "write a machine-readable JSON report to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
+	report := make(map[string]any)
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("=== %s ===\n", name)
-		if err := fn(); err != nil {
+		t := obs.NewTimer(nil)
+		rec, err := fn()
+		wall := t.ObserveDuration().Seconds()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "histbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if rec != nil {
+			report[name] = map[string]any{"wall_seconds": wall, "result": rec}
 		}
 		fmt.Println()
 	}
@@ -63,7 +78,7 @@ func main() {
 		return def
 	}
 
-	run("table3", func() error {
+	run("table3", func() (any, error) {
 		sc := pick(1.0)
 		rows := experiments.Table3(sc)
 		fmt.Printf("Data sets (scale %g); paper: weather4 143,648,037/1,048,679/0.0073, weather6 139,826,700/549,010/0.0039, gauss3 19,902,511/950,633/0.048\n", sc)
@@ -71,15 +86,15 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-16s %5d %14d %12d %9.4f\n", r.Name, r.Dims, r.TotalCells, r.NonEmpty, r.Density)
 		}
-		return nil
+		return map[string]any{"scale": sc, "rows": rows}, nil
 	})
 
-	queryCost := func(name string, skew bool) error {
+	queryCost := func(skew bool) (any, error) {
 		sc := pick(1.0)
 		n := nq(2000)
 		res, err := experiments.QueryCost(sc, n, skew, 50, *seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mix := "uni"
 		if skew {
@@ -96,23 +111,41 @@ func main() {
 				fmt.Printf("%d,%.2f,%.2f,%.2f\n", p.Query, p.ECube, p.DDC, p.PS)
 			}
 		}
-		return nil
+		ecube := make([]float64, len(res.Points))
+		for i, p := range res.Points {
+			ecube[i] = p.ECube
+		}
+		return map[string]any{
+			"mix":          mix,
+			"scale":        sc,
+			"queries":      n,
+			"ecube_first":  res.ECubeFirst,
+			"ecube_last":   res.ECubeLast,
+			"ddc_avg":      res.DDCAvg,
+			"ps_avg":       res.PSAvg,
+			"converted":    res.Converted,
+			"slice_cells":  res.SliceCells,
+			"wall_seconds": res.WallSeconds,
+			// Digest of the eCube rolling-window cost curve.
+			"ecube_window_cost": obs.Summarize(ecube),
+		}, nil
 	}
-	run("fig10", func() error { return queryCost("fig10", false) })
-	run("fig11", func() error { return queryCost("fig11", true) })
+	run("fig10", func() (any, error) { return queryCost(false) })
+	run("fig11", func() (any, error) { return queryCost(true) })
 
-	updateCost := func(spec workload.Spec, def float64) error {
+	updateCost := func(spec workload.Spec, def float64) (any, error) {
 		sc := pick(def)
 		res, err := experiments.UpdateCost(spec, sc)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		with := obs.Summarize(res.SortedWith)
+		without := obs.Summarize(res.SortedWithout)
 		fmt.Printf("Update cost quantiles, %s at scale %g (%d updates), costs in cell accesses\n", spec.Name, sc, res.Updates)
 		fmt.Printf("with copy cost:   p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
-			res.P50, res.P90, res.P99, last(res.SortedWith))
+			with.P50, with.P90, with.P99, with.Max)
 		fmt.Printf("without copies:   p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
-			quantOf(res.SortedWithout, 0.5), quantOf(res.SortedWithout, 0.9),
-			quantOf(res.SortedWithout, 0.99), last(res.SortedWithout))
+			without.P50, without.P90, without.P99, without.Max)
 		fmt.Printf("total copy work (area between curves): %.0f\n", res.TotalCopy)
 		fmt.Println("paper shape: copies ride on cheap updates; expensive updates do little extra work")
 		if *series {
@@ -122,16 +155,24 @@ func main() {
 				fmt.Printf("%d,%.0f,%.0f\n", i, res.SortedWith[i], res.SortedWithout[i])
 			}
 		}
-		return nil
+		return map[string]any{
+			"dataset":         spec.Name,
+			"scale":           sc,
+			"updates":         res.Updates,
+			"with_copy":       with,
+			"without_copy":    without,
+			"total_copy_work": res.TotalCopy,
+			"wall_seconds":    res.WallSeconds,
+		}, nil
 	}
-	run("fig12", func() error { return updateCost(workload.Weather6Spec, 0.05) })
-	run("fig13", func() error { return updateCost(workload.Gauss3Spec, 0.05) })
+	run("fig12", func() (any, error) { return updateCost(workload.Weather6Spec, 0.05) })
+	run("fig13", func() (any, error) { return updateCost(workload.Gauss3Spec, 0.05) })
 
-	run("table4", func() error {
+	run("table4", func() (any, error) {
 		sc := pick(0.05)
 		rows, err := experiments.Table4(sc, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("Incompletely copied historic instances after each update (scale %g)\n", sc)
 		fmt.Println("paper: in-memory 0/2/2 (weather4), 0/2/2 (weather6), 0/5/1 (gauss3); disk always 0/1/1")
@@ -139,15 +180,15 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-12s %-10s %4d %4d %14d\n", r.Dataset, r.Mode, r.Min, r.Max, r.MostFrequent)
 		}
-		return nil
+		return map[string]any{"scale": sc, "rows": rows}, nil
 	})
 
-	run("fig14", func() error {
+	run("fig14", func() (any, error) {
 		sc := pick(1.0)
 		n := nq(10000)
 		res, err := experiments.IOCost(sc, n, 0, *seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("I/O cost per query, weather6 at scale %g, %d uni queries, 8K pages\n", sc, n)
 		fmt.Printf("DDC array avg %.2f page accesses; bulk-loaded R*-tree avg %.2f leaf accesses\n", res.ArrayAvg, res.RTreeAvg)
@@ -163,15 +204,26 @@ func main() {
 				fmt.Printf("%d,%.0f,%.0f\n", i, res.SortedArray[i], res.SortedRTree[i])
 			}
 		}
-		return nil
+		return map[string]any{
+			"scale":        sc,
+			"queries":      n,
+			"array_avg":    res.ArrayAvg,
+			"rtree_avg":    res.RTreeAvg,
+			"tree_height":  res.TreeHeight,
+			"tree_leaves":  res.TreeLeaves,
+			"array_cells":  res.ArrayCells,
+			"tree_entries": res.TreeEntries,
+			"array_cost":   obs.Summarize(res.SortedArray),
+			"rtree_cost":   obs.Summarize(res.SortedRTree),
+		}, nil
 	})
 
-	run("ooo", func() error {
+	run("ooo", func() (any, error) {
 		sc := pick(0.01)
 		n := nq(200)
 		rows, err := experiments.OutOfOrderSweep(sc, []float64{0, 1, 5, 10, 25, 50}, n, *seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("Graceful degradation with out-of-order updates (Section 2.5), gauss3 at scale %g, %d queries\n", sc, n)
 		fmt.Printf("%8s %10s %16s %16s\n", "%ooo", "buffered", "list work/query", "rtree leaves/query")
@@ -180,29 +232,40 @@ func main() {
 				float64(r.ListChecks)/float64(r.Queries), float64(r.TreeLeaves)/float64(r.Queries))
 		}
 		fmt.Println("paper claim: query cost converges to a general d-dimensional structure's cost as the share grows")
-		return nil
+		return map[string]any{"scale": sc, "queries": n, "rows": rows}, nil
 	})
 
 	if *exp != "all" && !strings.Contains("table3 fig10 fig11 fig12 fig13 table4 fig14 ooo", *exp) {
 		fmt.Fprintf(os.Stderr, "histbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, report, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "histbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func last(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
+// writeReport emits the machine-readable run report — the format
+// BENCH_*.json trajectories are built from, so the tool itself is the
+// producer rather than ad-hoc postprocessing.
+func writeReport(path string, experiments map[string]any, seed int64) error {
+	doc := map[string]any{
+		"tool":        "histbench",
+		"seed":        seed,
+		"quantiles":   "nearest-rank (internal/stats.Quantile)",
+		"experiments": experiments,
 	}
-	return xs[len(xs)-1]
-}
-
-func quantOf(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
 	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
 	}
-	return sorted[i]
+	return os.WriteFile(path, b, 0o644)
 }

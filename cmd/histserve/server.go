@@ -5,40 +5,78 @@
 //
 // Usage:
 //
-//	histserve -addr :7070 -dims 16,16 -op sum [-ooo]
+//	histserve -addr :7070 -dims 16,16 -op sum [-ooo] [-metrics :9090]
 //
 // Protocol (one request per line, one response per line):
 //
 //	INS <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
 //	DEL <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
 //	QRY <tlo> <thi> <l1> ... <ld> <u1> ... <ud> -> <number> | ERR <msg>
-//	STATS                              -> slices=<n> incomplete=<n> pending=<n>
+//	STATS                              -> slices=<n> incomplete=<n> pending=<n> appended=<n> ...
 //	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
 //	QUIT                               -> BYE (closes the connection)
 //
+// STATS carries the full counter set (see README's Observability
+// section): out-of-order totals, eCube conversion progress, lazy-copy
+// work, tier demotions and access counts.
+//
 // Start with -load <path> to resume from a snapshot written by SAVE
 // (the -dims and -op flags must match the snapshot's configuration).
+//
+// With -metrics the server additionally serves a Prometheus-style
+// endpoint: GET /metrics renders every histcube_* and histserve_*
+// metric in text exposition format, GET /healthz answers "ok".
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"math"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"histcube/internal/agg"
 	"histcube/internal/core"
+	"histcube/internal/obs"
 )
 
+// commands lists every protocol verb, used to pre-register one
+// labelled request/error counter per command ("other" catches unknown
+// verbs so a misbehaving client cannot grow the label set unbounded).
+var commands = []string{"INS", "DEL", "QRY", "STATS", "SAVE", "QUIT", "other"}
+
+// server is one histserve instance.
+//
+// Locking contract: mu guards the cube — every cube call, including
+// queries. Queries mutate shared state (the eCube conversion rewrites
+// historic DDC cells to PS form, and the read path bumps cost
+// counters), so a plain RWMutex read lock would race; the single
+// mutex is load-bearing, not an oversight. The metrics registry is
+// not guarded by mu: metric primitives are atomic, and the
+// state-derived callbacks registered in newServer take mu themselves
+// at scrape time.
 type server struct {
 	mu   sync.Mutex
 	cube *core.Cube
 	dims int
+
+	reg *obs.Registry
+	ins *core.Instruments
+	log *slog.Logger
+
+	connSeq     atomic.Int64
+	connections *obs.Gauge
+	connTotal   *obs.Counter
+	inflight    *obs.Gauge
+	requests    map[string]*obs.Counter
+	errors      map[string]*obs.Counter
 }
 
 func main() {
@@ -48,28 +86,42 @@ func main() {
 		opArg   = flag.String("op", "sum", "aggregate operator: sum, count, avg")
 		ooo     = flag.Bool("ooo", false, "buffer out-of-order updates instead of rejecting them")
 		load    = flag.String("load", "", "resume from a snapshot written by the SAVE command")
+		metrics = flag.String("metrics", "", "optional HTTP listen address serving /metrics and /healthz (e.g. :9090)")
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := newServer(*dimsArg, *opArg, *ooo)
 	if err != nil {
-		log.Fatalf("histserve: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
+	srv.log = logger
 	if *load != "" {
 		if err := srv.loadSnapshot(*load); err != nil {
-			log.Fatalf("histserve: loading %s: %v", *load, err)
+			logger.Error("loading snapshot failed", "path", *load, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("histserve: resumed from %s", *load)
+		logger.Info("resumed from snapshot", "path", *load)
+	}
+	if *metrics != "" {
+		mln, err := srv.serveMetrics(*metrics)
+		if err != nil {
+			logger.Error("metrics listener failed", "addr", *metrics, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("metrics listening", "addr", mln.Addr().String())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("histserve: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("histserve: listening on %s (%d dims, %s)", ln.Addr(), srv.dims, *opArg)
+	logger.Info("listening", "addr", ln.Addr().String(), "dims", srv.dims, "op", *opArg)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("histserve: accept: %v", err)
+			logger.Error("accept failed", "err", err)
 			return
 		}
 		go srv.handle(conn)
@@ -100,11 +152,73 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{cube: cube, dims: len(ds)}, nil
+	s := &server{
+		cube: cube,
+		dims: len(ds),
+		reg:  obs.NewRegistry(),
+		log:  slog.Default(),
+	}
+	s.ins = core.NewInstruments(s.reg)
+	s.cube.SetInstruments(s.ins)
+	core.RegisterStatsMetrics(s.reg, func() core.Stats {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cube.Stats()
+	})
+	s.connections = s.reg.NewGauge("histserve_connections", "Open client connections.")
+	s.connTotal = s.reg.NewCounter("histserve_connections_total", "Client connections accepted since start.")
+	s.inflight = s.reg.NewGauge("histserve_inflight_requests", "Requests currently being dispatched.")
+	s.requests = make(map[string]*obs.Counter, len(commands))
+	s.errors = make(map[string]*obs.Counter, len(commands))
+	for _, cmd := range commands {
+		s.requests[cmd] = s.reg.NewCounter("histserve_requests_total",
+			"Requests dispatched, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
+		s.errors[cmd] = s.reg.NewCounter("histserve_errors_total",
+			"Requests answered with ERR, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
+	}
+	return s, nil
 }
 
+// serveMetrics starts the Prometheus-style HTTP listener. It returns
+// the bound listener so callers (and tests) learn the resolved port.
+func (s *server) serveMetrics(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.log.Error("metrics render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			s.log.Error("metrics server stopped", "err", err)
+		}
+	}()
+	return ln, nil
+}
+
+// handle serves one connection. Each connection gets a process-unique
+// id for log correlation and its requests/errors are accounted both
+// globally (metrics) and per connection (the close log line).
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
+	id := s.connSeq.Add(1)
+	s.connections.Inc()
+	s.connTotal.Inc()
+	log := s.log.With("conn", id, "remote", conn.RemoteAddr().String())
+	log.Info("connection opened")
+	var reqs, errs int64
+	defer func() {
+		s.connections.Dec()
+		log.Info("connection closed", "requests", reqs, "errors", errs)
+	}()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
@@ -112,7 +226,12 @@ func (s *server) handle(conn net.Conn) {
 		if line == "" {
 			continue
 		}
+		reqs++
 		resp, quit := s.dispatch(line)
+		if strings.HasPrefix(resp, "ERR") {
+			errs++
+			log.Warn("request failed", "line", line, "resp", resp)
+		}
 		fmt.Fprintln(w, resp)
 		if err := w.Flush(); err != nil {
 			return
@@ -123,9 +242,33 @@ func (s *server) handle(conn net.Conn) {
 	}
 }
 
-func (s *server) dispatch(line string) (string, bool) {
+// count records one dispatched request (and, for responses starting
+// with ERR, one error) under the command's label.
+func (s *server) count(cmd, resp string) {
+	key := cmd
+	if _, known := s.requests[key]; !known {
+		key = "other"
+	}
+	s.requests[key].Inc()
+	if strings.HasPrefix(resp, "ERR") {
+		s.errors[key].Inc()
+	}
+}
+
+func (s *server) dispatch(line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
-	cmd := strings.ToUpper(fields[0])
+	cmd := "other"
+	if len(fields) > 0 {
+		cmd = strings.ToUpper(fields[0])
+	}
+	s.inflight.Inc()
+	defer func() {
+		s.inflight.Dec()
+		s.count(cmd, resp)
+	}()
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
 	switch cmd {
 	case "QUIT":
 		return "BYE", true
@@ -133,8 +276,13 @@ func (s *server) dispatch(line string) (string, bool) {
 		s.mu.Lock()
 		st := s.cube.Stats()
 		s.mu.Unlock()
-		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d",
-			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates), false
+		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
+			"ooo=%d conversions=%d cells_touched=%d forced_copies=%d copy_ahead=%d "+
+			"demoted=%d cache_accesses=%d store_accesses=%d",
+			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates,
+			st.OutOfOrderUpdates, st.ECubeConversions, st.ECubeCellsTouched,
+			st.ForcedCopies, st.CopyAheadWork,
+			st.TierDemotions, st.CacheAccesses, st.StoreAccesses), false
 	case "SAVE":
 		if len(fields) != 2 {
 			return "ERR SAVE needs a file path", false
@@ -158,7 +306,11 @@ func (s *server) dispatch(line string) (string, bool) {
 		}
 		coords := make([]int, s.dims)
 		for i := range coords {
-			coords[i] = int(nums[1+i])
+			c, ok := toCoord(nums[1+i])
+			if !ok {
+				return fmt.Sprintf("ERR coordinate %d overflows", nums[1+i]), false
+			}
+			coords[i] = c
 		}
 		s.mu.Lock()
 		if cmd == "INS" {
@@ -183,8 +335,13 @@ func (s *server) dispatch(line string) (string, bool) {
 		lo := make([]int, s.dims)
 		hi := make([]int, s.dims)
 		for i := 0; i < s.dims; i++ {
-			lo[i] = int(nums[2+i])
-			hi[i] = int(nums[2+s.dims+i])
+			l, okl := toCoord(nums[2+i])
+			h, okh := toCoord(nums[2+s.dims+i])
+			if !okl || !okh {
+				return "ERR coordinate overflows", false
+			}
+			lo[i] = l
+			hi[i] = h
 		}
 		s.mu.Lock()
 		v, err := s.cube.Query(core.Range{TimeLo: nums[0], TimeHi: nums[1], Lo: lo, Hi: hi})
@@ -218,14 +375,29 @@ func (s *server) loadSnapshot(path string) error {
 		return err
 	}
 	defer f.Close()
+	t := obs.NewTimer(s.ins.SnapshotLoad)
 	cube, err := core.Load(f)
 	if err != nil {
 		return err
 	}
+	t.ObserveDuration()
+	cube.SetInstruments(s.ins)
 	s.mu.Lock()
 	s.cube = cube
 	s.mu.Unlock()
 	return nil
+}
+
+// toCoord narrows a parsed int64 to a cube coordinate. Coordinates are
+// bounded to int32 range: every real dimension is far smaller, and the
+// explicit check keeps a plain int(...) conversion from silently
+// truncating (and possibly wrapping back into the domain) on 32-bit
+// platforms.
+func toCoord(v int64) (int, bool) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, false
+	}
+	return int(v), true
 }
 
 func parseInts(fields []string) ([]int64, error) {

@@ -137,6 +137,12 @@ type Cube struct {
 	// accesses are counted by the store in its own unit.
 	CacheAccesses int64
 
+	// Cumulative lazy-copy progress across all updates (the live view
+	// of Figures 12/13's copy work): forcedTotal counts step-3 forced
+	// copies, aheadTotal counts step-4 copy-ahead work.
+	forcedTotal int64
+	aheadTotal  int64
+
 	// scratch
 	updateSets [][]int
 }
@@ -295,8 +301,34 @@ func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, erro
 	if err != nil {
 		return res, err
 	}
+	c.forcedTotal += int64(res.ForcedCopies)
+	c.aheadTotal += int64(res.CopyAhead)
 	res.Incomplete = c.Incomplete()
 	return res, nil
+}
+
+// CopyProgress returns the cumulative lazy-copy work across all
+// updates: forced copies (step 3 of Fig. 8) and copy-ahead steps
+// (step 4).
+func (c *Cube) CopyProgress() (forced, ahead int64) {
+	return c.forcedTotal, c.aheadTotal
+}
+
+// Conversions returns the cumulative number of historic cells the
+// eCube query algorithm has converted from DDC to PS form.
+func (c *Cube) Conversions() int64 { return c.engine.Converts() }
+
+// CellsTouched returns the cumulative number of historic-slice cells
+// the eCube query algorithm has loaded.
+func (c *Cube) CellsTouched() int64 { return c.engine.Loads() }
+
+// Demotions returns the number of slices aged to cold storage (0 for
+// non-tiered stores).
+func (c *Cube) Demotions() int64 {
+	if ts, ok := c.store.(*TieredStore); ok {
+		return ts.Demotions()
+	}
+	return 0
 }
 
 // budget returns the copy-ahead work budget for the current update:

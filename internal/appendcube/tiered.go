@@ -19,9 +19,10 @@ import (
 // store keeps plain values), so reads report DDC values — still
 // correct, at DDC query cost.
 type TieredStore struct {
-	hot      *MemStore
-	cold     SliceStore
-	boundary int // slices < boundary are cold
+	hot       *MemStore
+	cold      SliceStore
+	boundary  int   // slices < boundary are cold
+	demotions int64 // slices demoted so far (tier-promotion progress)
 }
 
 // NewTieredStore layers a hot in-memory store over a cold store.
@@ -108,8 +109,13 @@ func (t *TieredStore) demote(s int) error {
 	t.hot.vals[s] = nil
 	t.hot.flags[s] = nil
 	t.boundary = s + 1
+	t.demotions++
 	return nil
 }
+
+// Demotions returns how many slices have been demoted to the cold
+// store since the process started.
+func (t *TieredStore) Demotions() int64 { return t.demotions }
 
 // Age retires the oldest n historic slices of the cube to the cold
 // store: they are force-completed first (retaining their cumulative

@@ -21,6 +21,7 @@ import (
 	"histcube/internal/agg"
 	"histcube/internal/appendcube"
 	"histcube/internal/dims"
+	"histcube/internal/obs"
 	"histcube/internal/pager"
 	"histcube/internal/rstar"
 )
@@ -90,6 +91,20 @@ type Stats struct {
 	OutOfOrderUpdates  int64
 	LastUpdateCost     int
 	LastUpdateCopyWork int
+
+	// ECubeConversions is the cumulative number of historic cells the
+	// eCube query algorithm rewrote from DDC to PS form — the live
+	// counterpart of the paper's Figure 10/11 convergence curves.
+	ECubeConversions int64
+	// ECubeCellsTouched is the cumulative number of historic-slice
+	// cells loaded by queries.
+	ECubeCellsTouched int64
+	// ForcedCopies and CopyAheadWork are the cumulative lazy-copy
+	// progress of Section 3.3 (the live view of Figures 12/13).
+	ForcedCopies  int64
+	CopyAheadWork int64
+	// TierDemotions counts slices aged to cold storage (Tiered only).
+	TierDemotions int64
 }
 
 // Cube is the append-only historical data cube.
@@ -106,6 +121,10 @@ type Cube struct {
 	appended   int64
 	outOfOrder int64
 	lastRes    appendcube.UpdateResult
+
+	// ins, when non-nil, receives per-operation latency observations
+	// (see instrument.go).
+	ins *Instruments
 }
 
 // New returns an empty cube.
@@ -203,6 +222,9 @@ func (c *Cube) Shape() []int { return append([]int(nil), c.shape...) }
 // buffered when configured, rejected with appendcube.ErrOutOfOrder
 // otherwise.
 func (c *Cube) Insert(t int64, coords []int, v float64) error {
+	if c.ins != nil {
+		defer obs.NewTimer(c.ins.Insert).ObserveDuration()
+	}
 	val := agg.Point(c.cfg.Operator, v)
 	return c.apply(t, coords, val)
 }
@@ -210,6 +232,9 @@ func (c *Cube) Insert(t int64, coords []int, v float64) error {
 // Delete removes a previously inserted point by applying the inverse
 // contribution — the paper's translation of deletes into updates.
 func (c *Cube) Delete(t int64, coords []int, v float64) error {
+	if c.ins != nil {
+		defer obs.NewTimer(c.ins.Delete).ObserveDuration()
+	}
 	val := agg.Point(c.cfg.Operator, v).Neg()
 	return c.apply(t, coords, val)
 }
@@ -250,6 +275,9 @@ func (c *Cube) apply(t int64, coords []int, val agg.Value) error {
 // Query aggregates over the range and finalises per the operator
 // (AVERAGE divides the summed measures by the count).
 func (c *Cube) Query(r Range) (float64, error) {
+	if c.ins != nil {
+		defer obs.NewTimer(c.ins.Query).ObserveDuration()
+	}
 	v, err := c.partial(r)
 	if err != nil {
 		return 0, err
@@ -290,7 +318,8 @@ func (c *Cube) partial(r Range) (agg.Value, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters. For AVERAGE cubes the
+// cumulative cost counters sum the SUM and COUNT components.
 func (c *Cube) Stats() Stats {
 	st := Stats{
 		Slices:             c.sum.NumSlices(),
@@ -301,6 +330,20 @@ func (c *Cube) Stats() Stats {
 		OutOfOrderUpdates:  c.outOfOrder,
 		LastUpdateCost:     c.lastRes.Cost(),
 		LastUpdateCopyWork: c.lastRes.ForcedCopies + c.lastRes.CopyAhead,
+		ECubeConversions:   c.sum.Conversions(),
+		ECubeCellsTouched:  c.sum.CellsTouched(),
+		TierDemotions:      c.sum.Demotions(),
+	}
+	st.ForcedCopies, st.CopyAheadWork = c.sum.CopyProgress()
+	if c.cnt != nil {
+		st.CacheAccesses += c.cnt.CacheAccesses
+		st.StoreAccesses += c.cnt.Store().Accesses()
+		st.ECubeConversions += c.cnt.Conversions()
+		st.ECubeCellsTouched += c.cnt.CellsTouched()
+		st.TierDemotions += c.cnt.Demotions()
+		f, a := c.cnt.CopyProgress()
+		st.ForcedCopies += f
+		st.CopyAheadWork += a
 	}
 	if c.gd != nil {
 		st.PendingOutOfOrder = c.gd.Len()

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"histcube/internal/obs"
+)
+
+// Instruments bundles the cube's latency histograms. A cube with
+// instruments attached (SetInstruments) observes the wall-clock
+// duration of every Insert, Delete, Query and Save; SnapshotLoad is
+// observed by the caller around core.Load, which constructs the cube
+// it would be attached to. Instruments outlive any one cube, so a
+// server that swaps cubes (snapshot resume) re-attaches the same set.
+type Instruments struct {
+	Insert       *obs.Histogram
+	Delete       *obs.Histogram
+	Query        *obs.Histogram
+	SnapshotSave *obs.Histogram
+	SnapshotLoad *obs.Histogram
+}
+
+// NewInstruments registers the cube latency histograms on reg under
+// the histcube_ prefix.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	h := func(name, help string) *obs.Histogram {
+		return reg.NewHistogram(name, help, nil)
+	}
+	return &Instruments{
+		Insert:       h("histcube_insert_duration_seconds", "Latency of cube inserts."),
+		Delete:       h("histcube_delete_duration_seconds", "Latency of cube deletes."),
+		Query:        h("histcube_query_duration_seconds", "Latency of cube range queries."),
+		SnapshotSave: h("histcube_snapshot_save_duration_seconds", "Duration of cube snapshot saves."),
+		SnapshotLoad: h("histcube_snapshot_load_duration_seconds", "Duration of cube snapshot loads."),
+	}
+}
+
+// SetInstruments attaches (or, with nil, detaches) latency
+// instruments. The non-instrumented hot path stays a single nil check.
+func (c *Cube) SetInstruments(ins *Instruments) { c.ins = ins }
+
+// RegisterStatsMetrics registers the cube's state gauges and
+// cumulative cost counters on reg, reading them from snapshot at
+// scrape time. snapshot must be safe to call from the scrape
+// goroutine — callers that mutate the cube concurrently pass a closure
+// taking the same lock that guards the cube (see cmd/histserve). Going
+// through a snapshot function rather than a captured *Cube also keeps
+// the metrics correct when the caller swaps cubes on snapshot resume.
+func RegisterStatsMetrics(reg *obs.Registry, snapshot func() Stats) {
+	gauge := func(name, help string, get func(Stats) float64) {
+		reg.NewGaugeFunc(name, help, func() float64 { return get(snapshot()) })
+	}
+	counter := func(name, help string, get func(Stats) int64) {
+		reg.NewCounterFunc(name, help, func() int64 { return get(snapshot()) })
+	}
+	gauge("histcube_slices", "Occurring time slices (time directory entries).",
+		func(s Stats) float64 { return float64(s.Slices) })
+	gauge("histcube_incomplete_slices", "Historic slices not yet completely copied (Table 4's measurement).",
+		func(s Stats) float64 { return float64(s.IncompleteSlices) })
+	gauge("histcube_ooo_pending", "Out-of-order updates buffered in the R*-tree (Section 2.5's G_d).",
+		func(s Stats) float64 { return float64(s.PendingOutOfOrder) })
+	counter("histcube_appended_updates_total", "Updates appended in time order.",
+		func(s Stats) int64 { return s.AppendedUpdates })
+	counter("histcube_ooo_updates_total", "Updates routed to the out-of-order buffer.",
+		func(s Stats) int64 { return s.OutOfOrderUpdates })
+	counter("histcube_ecube_conversions_total", "Historic cells lazily converted from DDC to PS by queries (the Fig. 10/11 convergence signal).",
+		func(s Stats) int64 { return s.ECubeConversions })
+	counter("histcube_ecube_cells_touched_total", "Historic-slice cells loaded by the eCube query algorithm.",
+		func(s Stats) int64 { return s.ECubeCellsTouched })
+	counter("histcube_cache_accesses_total", "Cache cell reads and writes (the paper's in-memory cost unit).",
+		func(s Stats) int64 { return s.CacheAccesses })
+	counter("histcube_store_accesses_total", "Historic store accesses in the store's native unit (cells in memory, page I/Os on disk).",
+		func(s Stats) int64 { return s.StoreAccesses })
+	counter("histcube_copy_forced_total", "Forced lazy copies of overwritten cache cells (Fig. 8 step 3).",
+		func(s Stats) int64 { return s.ForcedCopies })
+	counter("histcube_copy_ahead_total", "Copy-ahead work riding on updates (Fig. 8 step 4).",
+		func(s Stats) int64 { return s.CopyAheadWork })
+	counter("histcube_tier_demotions_total", "Slices aged from hot to cold storage.",
+		func(s Stats) int64 { return s.TierDemotions })
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"histcube/internal/agg"
+	"histcube/internal/obs"
+)
+
+func newTestCube(t *testing.T) *Cube {
+	t.Helper()
+	c, err := New(Config{
+		Dims:     []Dim{{Name: "x", Size: 8}, {Name: "y", Size: 8}},
+		Operator: agg.Sum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStatsCumulativeCounters(t *testing.T) {
+	c := newTestCube(t)
+	for i := 0; i < 40; i++ {
+		if err := c.Insert(int64(i/4), []int{i % 8, (i * 3) % 8}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Historic query: forces eCube loads and conversions.
+	if _, err := c.Query(Range{TimeLo: 0, TimeHi: 3, Lo: []int{0, 0}, Hi: []int{7, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ECubeCellsTouched == 0 {
+		t.Error("ECubeCellsTouched = 0 after historic query")
+	}
+	if st.ECubeConversions == 0 {
+		t.Error("ECubeConversions = 0 after historic query")
+	}
+	if st.ForcedCopies == 0 && st.CopyAheadWork == 0 {
+		t.Error("no copy progress recorded across 10 slices")
+	}
+	// Conversions are monotone: another historic query cannot shrink
+	// them, and a repeat touches cells without reconverting them all.
+	if _, err := c.Query(Range{TimeLo: 0, TimeHi: 3, Lo: []int{0, 0}, Hi: []int{7, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.Stats()
+	if st2.ECubeConversions < st.ECubeConversions {
+		t.Errorf("conversions shrank: %d -> %d", st.ECubeConversions, st2.ECubeConversions)
+	}
+	if st2.ECubeCellsTouched <= st.ECubeCellsTouched {
+		t.Errorf("cells touched did not grow: %d -> %d", st.ECubeCellsTouched, st2.ECubeCellsTouched)
+	}
+}
+
+func TestStatsTierDemotions(t *testing.T) {
+	c, err := New(Config{
+		Dims:     []Dim{{Size: 4}, {Size: 4}},
+		Operator: agg.Sum,
+		Storage:  Storage{Kind: Tiered},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := c.Insert(int64(i), []int{i % 4, i % 4}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Age(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().TierDemotions; got != 3 {
+		t.Errorf("TierDemotions = %d, want 3", got)
+	}
+}
+
+func TestInstrumentsAndStatsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg)
+	c := newTestCube(t)
+	c.SetInstruments(ins)
+
+	var mu sync.Mutex
+	RegisterStatsMetrics(reg, func() Stats {
+		mu.Lock()
+		defer mu.Unlock()
+		return c.Stats()
+	})
+
+	for i := 0; i < 20; i++ {
+		if err := c.Insert(int64(i), []int{i % 8, i % 8}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete(19, []int{3, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(Range{TimeLo: 0, TimeHi: 10, Lo: []int{0, 0}, Hi: []int{7, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := c.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if ins.Insert.Count() != 20 {
+		t.Errorf("insert observations = %d, want 20", ins.Insert.Count())
+	}
+	if ins.Delete.Count() != 1 {
+		t.Errorf("delete observations = %d, want 1", ins.Delete.Count())
+	}
+	if ins.Query.Count() != 1 {
+		t.Errorf("query observations = %d, want 1", ins.Query.Count())
+	}
+	if ins.SnapshotSave.Count() != 1 {
+		t.Errorf("save observations = %d, want 1", ins.SnapshotSave.Count())
+	}
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE histcube_query_duration_seconds histogram",
+		"histcube_query_duration_seconds_count 1",
+		"# TYPE histcube_slices gauge",
+		"histcube_slices 20",
+		"# TYPE histcube_appended_updates_total counter",
+		"histcube_appended_updates_total 21",
+		"# TYPE histcube_ecube_conversions_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Detaching stops observation.
+	c.SetInstruments(nil)
+	if err := c.Insert(20, []int{0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Insert.Count() != 20 {
+		t.Errorf("detached cube still observed: %d", ins.Insert.Count())
+	}
+}

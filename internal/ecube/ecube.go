@@ -16,6 +16,7 @@ package ecube
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"histcube/internal/ddc"
 	"histcube/internal/dims"
@@ -39,12 +40,20 @@ type CellStore interface {
 }
 
 // Engine evaluates prefix and range queries over mixed PS/DDC cells of
-// a fixed shape. It is stateless apart from the shape and may be
-// shared across many stores (all historic slices of a cube use one
-// Engine).
+// a fixed shape. Apart from the shape it carries only two atomic cost
+// counters, so it may be shared across many stores (all historic
+// slices of a cube use one Engine) and across goroutines.
 type Engine struct {
 	shape   dims.Shape
 	strides []int
+
+	// loads counts CellStore.Load calls (cells touched); converts
+	// counts persisted DDC->PS rewrites (StorePS returning true) — the
+	// convergence signal of the paper's Figures 10 and 11, aggregated
+	// across every store the engine drives. Atomic so a /metrics scrape
+	// can read them while a query runs.
+	loads    atomic.Int64
+	converts atomic.Int64
 }
 
 // NewEngine returns an Engine for (d-1)-dimensional slices of the
@@ -58,6 +67,16 @@ func NewEngine(shape dims.Shape) (*Engine, error) {
 
 // Shape returns the engine's slice shape.
 func (en *Engine) Shape() dims.Shape { return en.shape }
+
+// Loads returns the cumulative number of cells the engine has touched
+// (CellStore.Load calls) across every query it has run.
+func (en *Engine) Loads() int64 { return en.loads.Load() }
+
+// Converts returns the cumulative number of DDC->PS conversions the
+// engine has persisted — the quantity the paper's Figure 10/11 curves
+// track: query cost converges from (2 log2 N)^(d-1) towards 2^(d-1)
+// exactly as this counter approaches the number of queried cells.
+func (en *Engine) Converts() int64 { return en.converts.Load() }
 
 // Prefix computes P[x] = aggregate over the box [0..x] in every
 // dimension, converting every DDC cell it touches to PS via StorePS.
@@ -92,6 +111,7 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 	if v, ok := ctx.memo[off]; ok {
 		return v
 	}
+	en.loads.Add(1)
 	val, ps := cs.Load(off)
 	if ps {
 		return val
@@ -124,7 +144,9 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 			val -= en.prefixRec(cs, sub, ctx)
 		}
 	}
-	if !cs.StorePS(off, val) {
+	if cs.StorePS(off, val) {
+		en.converts.Add(1)
+	} else {
 		if ctx.memo == nil {
 			ctx.memo = make(map[int]float64)
 		}

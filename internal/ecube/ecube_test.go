@@ -373,3 +373,46 @@ func TestEngineMemoisesWhenStoreDeclines(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineCounters pins the engine's cumulative observability
+// counters: Loads counts every CellStore.Load, Converts counts only
+// persisted DDC->PS rewrites and therefore matches the Array's own
+// conversion counter and its converted-cell census.
+func TestEngineCounters(t *testing.T) {
+	shape := dims.Shape{8, 8}
+	data := make([]float64, shape.Size())
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	a, err := FromDense(data, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.en.Loads() != 0 || a.en.Converts() != 0 {
+		t.Fatalf("fresh engine counters: loads=%d converts=%d", a.en.Loads(), a.en.Converts())
+	}
+	if _, err := a.Query(dims.Box{Lo: []int{1, 1}, Hi: []int{6, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	loads1, conv1 := a.en.Loads(), a.en.Converts()
+	if loads1 == 0 || conv1 == 0 {
+		t.Fatalf("counters did not move: loads=%d converts=%d", loads1, conv1)
+	}
+	if conv1 != a.Conversions {
+		t.Errorf("engine converts %d != array conversions %d", conv1, a.Conversions)
+	}
+	if int(conv1) != a.Converted() {
+		t.Errorf("engine converts %d != converted cells %d", conv1, a.Converted())
+	}
+	// Re-running the same query hits only PS cells: loads still grow,
+	// conversions must not.
+	if _, err := a.Query(dims.Box{Lo: []int{1, 1}, Hi: []int{6, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.en.Converts() != conv1 {
+		t.Errorf("repeat query converted again: %d -> %d", conv1, a.en.Converts())
+	}
+	if a.en.Loads() <= loads1 {
+		t.Errorf("repeat query loads did not grow: %d -> %d", loads1, a.en.Loads())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"histcube/internal/dims"
 	"histcube/internal/ecube"
 	"histcube/internal/molap"
+	"histcube/internal/obs"
 	"histcube/internal/pager"
 	"histcube/internal/prefix"
 	"histcube/internal/rstar"
@@ -74,6 +75,9 @@ type QueryCostResult struct {
 	DDCAvg, PSAvg         float64
 	Converted             int // eCube cells converted to PS
 	SliceCells            int
+	// WallSeconds is the experiment's wall-clock time (obs.Timer) —
+	// secondary to the cell-access metric, reported for context.
+	WallSeconds float64
 }
 
 // QueryCost runs the Figure 10 (skew=false) / Figure 11 (skew=true)
@@ -83,6 +87,7 @@ type QueryCostResult struct {
 // curve must start at or above DDC (its two-prefix reduction touches
 // cells DDC's direct algorithm cancels) and converge towards PS.
 func QueryCost(scale float64, nQueries int, skew bool, window int, seed int64) (QueryCostResult, error) {
+	timer := obs.NewTimer(nil)
 	spec := workload.Weather4Spec.Scaled(scale)
 	ds := workload.Generate(spec)
 	shape := ds.SliceShape
@@ -164,6 +169,7 @@ func QueryCost(scale float64, nQueries int, skew bool, window int, seed int64) (
 	}
 	res.DDCAvg = stats.Mean(costsD)
 	res.PSAvg = stats.Mean(costsP)
+	res.WallSeconds = timer.ObserveDuration().Seconds()
 	return res, nil
 }
 
@@ -178,6 +184,8 @@ type UpdateCostResult struct {
 	// copy-ahead work.
 	TotalCopy float64
 	Updates   int
+	// WallSeconds is the experiment's wall-clock time (obs.Timer).
+	WallSeconds float64
 }
 
 // UpdateCost runs the Figure 12 (weather6) / Figure 13 (gauss3)
@@ -186,6 +194,7 @@ type UpdateCostResult struct {
 // Most copies must ride on cheap updates: the two sorted curves stay
 // close except at the cheap end.
 func UpdateCost(spec workload.Spec, scale float64) (UpdateCostResult, error) {
+	timer := obs.NewTimer(nil)
 	ds := workload.Generate(spec.Scaled(scale))
 	cube, err := appendcube.New(appendcube.Config{SliceShape: ds.SliceShape})
 	if err != nil {
@@ -211,6 +220,7 @@ func UpdateCost(spec workload.Spec, scale float64) (UpdateCostResult, error) {
 		P99:           stats.Quantile(with, 0.99),
 		TotalCopy:     total,
 		Updates:       len(with),
+		WallSeconds:   timer.ObserveDuration().Seconds(),
 	}, nil
 }
 

@@ -4,7 +4,10 @@
 // 10-11), and min/max/most-frequent trackers (Table 4).
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Sorted returns a copy of xs in ascending order — the presentation
 // used by the paper's per-operation cost figures.
@@ -14,8 +17,14 @@ func Sorted(xs []float64) []float64 {
 	return out
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs using
-// nearest-rank on a sorted copy. It returns 0 for empty input.
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using the
+// nearest-rank rule on a sorted copy: the smallest element whose rank
+// r satisfies r >= q*n, i.e. index ceil(q*n)-1. The small epsilon
+// keeps exact bucket boundaries (q*n an integer, e.g. the median of 4
+// items) from rounding up a rank through floating-point error. This is
+// the convention obs.Histogram.Quantile mirrors, so live histogram
+// summaries and offline experiment summaries agree. It returns 0 for
+// empty input.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -27,7 +36,10 @@ func Quantile(xs []float64, q float64) float64 {
 	if q >= 1 {
 		return s[len(s)-1]
 	}
-	idx := int(q * float64(len(s)))
+	idx := int(math.Ceil(q*float64(len(s))-1e-9)) - 1
+	if idx < 0 {
+		idx = 0
+	}
 	if idx >= len(s) {
 		idx = len(s) - 1
 	}

@@ -35,6 +35,39 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRank locks down the nearest-rank convention
+// (index ceil(q*n)-1), in particular at exact bucket boundaries where
+// the old int(q*n) rule was off by one (median of 4 items must be the
+// 2nd, not the 3rd).
+func TestQuantileNearestRank(t *testing.T) {
+	four := []float64{10, 20, 30, 40}
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"median of 4 is the 2nd", four, 0.5, 20},
+		{"q25 of 4 is the 1st", four, 0.25, 10},
+		{"q75 of 4 is the 3rd", four, 0.75, 30},
+		{"q99 of 4 is the 4th", four, 0.99, 40},
+		{"tiny q clamps to the 1st", four, 0.0001, 10},
+		{"median of 1", []float64{7}, 0.5, 7},
+		{"median of 2 is the 1st", []float64{3, 9}, 0.5, 3},
+		{"p90 of 10 is the 9th", ten, 0.9, 9},
+		{"p50 of 10 is the 5th", ten, 0.5, 5},
+		{"p10 of 10 is the 1st", ten, 0.1, 1},
+		{"p99 of 10 is the 10th", ten, 0.99, 10},
+		{"p30 of 10 is the 3rd", ten, 0.3, 3},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.xs, c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
 		t.Errorf("Mean = %v", got)
