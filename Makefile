@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench fmt
+.PHONY: check build test race bench fmt crash
 
 check:
 	./check.sh
@@ -16,6 +16,9 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+crash:
+	go test -race -count=1 -v -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
 
 fmt:
 	gofmt -w .

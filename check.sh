@@ -21,4 +21,9 @@ go vet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== crash-injection durability test =="
+# Runs inside the suite above too; re-run by name so a durability
+# regression is impossible to miss in the gate output.
+go test -race -count=1 -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
+
 echo "== ok =="

@@ -1,0 +1,277 @@
+package main
+
+// Crash-injection harness: build the real histserve binary, drive a
+// 10k-append workload over TCP with -fsync=always, SIGKILL the process
+// mid-append, restart it on the same data directory and verify that
+// recovery (checkpoint + log-tail replay, torn final record truncated)
+// loses no acknowledged record. This is the durability acceptance test
+// wired into check.sh and CI; it needs the go toolchain to build the
+// binary and is skipped under -short.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildHistserve compiles the server binary once per test run.
+func buildHistserve(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH; cannot build the crash-test binary")
+	}
+	bin := filepath.Join(t.TempDir(), "histserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building histserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var listenRE = regexp.MustCompile(`msg=listening addr=([^ ]+)`)
+
+// histProc is one running histserve child process.
+type histProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr []string
+	lines  chan string
+}
+
+// startHistserve launches the binary and waits for its listen address.
+func startHistserve(t *testing.T, bin string, args ...string) *histProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &histProc{cmd: cmd, lines: make(chan string, 256)}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			select {
+			case p.lines <- sc.Text():
+			default: // never block the child on a full buffer
+			}
+		}
+		close(p.lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("histserve exited before listening; stderr:\n%s", strings.Join(p.stderr, "\n"))
+			}
+			p.stderr = append(p.stderr, line)
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				p.addr = m[1]
+				return p
+			}
+		case <-deadline:
+			p.cmd.Process.Kill()
+			t.Fatalf("histserve did not report a listen address; stderr:\n%s", strings.Join(p.stderr, "\n"))
+		}
+	}
+}
+
+// waitExit drains stderr to EOF and then reaps the child — in that
+// order, because cmd.Wait closes the pipe and would race the reader
+// out of the final log lines. Returns the full stderr and exit error.
+func (p *histProc) waitExit(t *testing.T, d time.Duration) (string, error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		for line := range p.lines {
+			p.stderr = append(p.stderr, line)
+		}
+		done <- p.cmd.Wait()
+	}()
+	select {
+	case err := <-done:
+		return strings.Join(p.stderr, "\n"), err
+	case <-time.After(d):
+		p.cmd.Process.Kill()
+		t.Fatal("child process did not exit in time")
+		return "", nil
+	}
+}
+
+func TestCrashRecoveryNoAcknowledgedLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-injection test builds and kills real processes")
+	}
+	bin := buildHistserve(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-dims", "8,8", "-op", "sum", "-data-dir", dataDir,
+		"-fsync", "always", "-checkpoint-every", "500"}
+
+	// Phase 1: drive the append workload and SIGKILL mid-append.
+	p1 := startHistserve(t, bin, args...)
+	conn := dialTCP(t, p1.addr)
+	const workload = 10000
+	const killAfter = 1200 // acks before the plug is pulled
+	acked, sent := 0, 0
+	killed := false
+	for i := 0; i < workload; i++ {
+		_, err := fmt.Fprintf(conn.w, "INS %d %d %d 1\n", i/10, i%8, (i/3)%8)
+		if err == nil {
+			err = conn.w.Flush()
+		}
+		if err != nil {
+			break // the kill landed
+		}
+		sent++
+		resp, err := conn.r.ReadString('\n')
+		if err != nil {
+			break // killed between request and response
+		}
+		if strings.TrimSpace(resp) != "OK" {
+			t.Fatalf("append %d: %q", i, strings.TrimSpace(resp))
+		}
+		acked++
+		if acked == killAfter {
+			// SIGKILL while the workload is in full flight: the next
+			// iterations race the process teardown.
+			if err := p1.cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("workload finished (%d acks) before the kill", acked)
+	}
+	p1.waitExit(t, 30*time.Second)
+	if acked < killAfter {
+		t.Fatalf("only %d acks before failure, want >= %d", acked, killAfter)
+	}
+
+	// Phase 2: restart on the same directory; recovery must replay
+	// checkpoint + tail, tolerate a torn final record, and preserve
+	// every acknowledged append (value 1 each: SUM == count).
+	p2 := startHistserve(t, bin, args...)
+	recovered := ""
+	for _, line := range p2.stderr {
+		if strings.Contains(line, "msg=recovered") {
+			recovered = line
+		}
+	}
+	if recovered == "" {
+		t.Fatalf("no recovery log line; stderr:\n%s", strings.Join(p2.stderr, "\n"))
+	}
+	conn2 := dialTCP(t, p2.addr)
+	total := query(t, conn2, "QRY 0 100000 0 0 7 7")
+	if total < float64(acked) || total > float64(sent) {
+		t.Fatalf("recovered SUM = %v, want within [acked=%d, sent=%d]\nrecovery: %s",
+			total, acked, sent, recovered)
+	}
+	t.Logf("acked=%d sent=%d recovered=%v (%s)", acked, sent, total, recovered)
+
+	// The recovered server keeps accepting appends.
+	if _, err := fmt.Fprintln(conn2.w, "INS 99999 0 0 1"); err != nil {
+		t.Fatal(err)
+	}
+	conn2.w.Flush()
+	if resp, _ := conn2.r.ReadString('\n'); strings.TrimSpace(resp) != "OK" {
+		t.Fatalf("post-recovery append: %q", resp)
+	}
+	after := query(t, conn2, "QRY 0 100000 0 0 7 7")
+	if after != total+1 {
+		t.Fatalf("post-recovery SUM = %v, want %v", after, total+1)
+	}
+
+	// Phase 3: graceful shutdown on SIGTERM — final checkpoint, exit 0.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	stderr2, werr := p2.waitExit(t, 30*time.Second)
+	if werr != nil {
+		t.Fatalf("graceful shutdown exit: %v\nstderr:\n%s", werr, stderr2)
+	}
+	if !strings.Contains(stderr2, "msg=\"shutdown complete\"") {
+		t.Fatalf("no shutdown-complete log line:\n%s", stderr2)
+	}
+
+	// Phase 4: a third boot resumes from the final checkpoint with an
+	// empty tail — the canonical clean restart.
+	p3 := startHistserve(t, bin, args...)
+	conn3 := dialTCP(t, p3.addr)
+	final := query(t, conn3, "QRY 0 100000 0 0 7 7")
+	if final != after {
+		t.Fatalf("after clean restart SUM = %v, want %v", final, after)
+	}
+	p3.cmd.Process.Signal(syscall.SIGTERM)
+	if _, err := p3.waitExit(t, 30*time.Second); err != nil {
+		t.Fatalf("clean restart shutdown exit: %v", err)
+	}
+}
+
+type tcpConn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func dialTCP(t *testing.T, addr string) *tcpConn {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		conn, err := dialOnce(addr)
+		if err == nil {
+			t.Cleanup(func() { conn.close() })
+			return conn.tcpConn
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("dialing %s: %v", addr, lastErr)
+	return nil
+}
+
+type ownedConn struct {
+	*tcpConn
+	close func() error
+}
+
+func dialOnce(addr string) (*ownedConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ownedConn{
+		tcpConn: &tcpConn{r: bufio.NewReader(c), w: bufio.NewWriter(c)},
+		close:   c.Close,
+	}, nil
+}
+
+func query(t *testing.T, c *tcpConn, q string) float64 {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.w, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(resp), 64)
+	if err != nil {
+		t.Fatalf("query %q -> %q", q, strings.TrimSpace(resp))
+	}
+	return v
+}

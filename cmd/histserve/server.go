@@ -14,6 +14,7 @@
 //	QRY <tlo> <thi> <l1> ... <ld> <u1> ... <ud> -> <number> | ERR <msg>
 //	STATS                              -> slices=<n> incomplete=<n> pending=<n> appended=<n> ...
 //	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
+//	CHECKPOINT                         -> OK <lsn> | ERR <msg> (durable mode only)
 //	QUIT                               -> BYE (closes the connection)
 //
 // STATS carries the full counter set (see README's Observability
@@ -22,6 +23,16 @@
 //
 // Start with -load <path> to resume from a snapshot written by SAVE
 // (the -dims and -op flags must match the snapshot's configuration).
+//
+// With -data-dir the server is durable: every acknowledged mutation is
+// first appended to a write-ahead log (internal/wal) under the given
+// directory, -fsync selects the always/interval/never fsync policy,
+// and -checkpoint-every N writes a cube snapshot and truncates the log
+// every N records (CHECKPOINT forces one on demand). On boot the
+// server recovers from the latest valid checkpoint plus the log tail,
+// truncating a torn final record. SIGINT/SIGTERM trigger a graceful
+// shutdown: stop accepting connections, write a final checkpoint,
+// flush and fsync the log, exit 0.
 //
 // With -metrics the server additionally serves a Prometheus-style
 // endpoint: GET /metrics renders every histcube_* and histserve_*
@@ -37,20 +48,23 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"histcube/internal/agg"
 	"histcube/internal/core"
 	"histcube/internal/obs"
+	"histcube/internal/wal"
 )
 
 // commands lists every protocol verb, used to pre-register one
 // labelled request/error counter per command ("other" catches unknown
 // verbs so a misbehaving client cannot grow the label set unbounded).
-var commands = []string{"INS", "DEL", "QRY", "STATS", "SAVE", "QUIT", "other"}
+var commands = []string{"INS", "DEL", "QRY", "STATS", "SAVE", "CHECKPOINT", "QUIT", "other"}
 
 // server is one histserve instance.
 //
@@ -71,6 +85,13 @@ type server struct {
 	ins *core.Instruments
 	log *slog.Logger
 
+	// wal, when non-nil, makes the server durable: the cube's op sink
+	// appends (and, under -fsync=always, fsyncs) every mutation before
+	// it is applied, and checkpointEvery drives automatic snapshots.
+	// Both are guarded by mu like the cube itself.
+	wal             *wal.Log
+	checkpointEvery int64
+
 	connSeq     atomic.Int64
 	connections *obs.Gauge
 	connTotal   *obs.Counter
@@ -87,6 +108,9 @@ func main() {
 		ooo     = flag.Bool("ooo", false, "buffer out-of-order updates instead of rejecting them")
 		load    = flag.String("load", "", "resume from a snapshot written by the SAVE command")
 		metrics = flag.String("metrics", "", "optional HTTP listen address serving /metrics and /healthz (e.g. :9090)")
+		dataDir = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty disables durability")
+		fsync   = flag.String("fsync", "always", "WAL fsync policy: always, interval, never (with -data-dir)")
+		ckptN   = flag.Int64("checkpoint-every", 10000, "checkpoint every N WAL records; 0 = only on CHECKPOINT/shutdown (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -97,12 +121,33 @@ func main() {
 		os.Exit(1)
 	}
 	srv.log = logger
+	if *load != "" && *dataDir != "" {
+		logger.Error("-load and -data-dir are mutually exclusive (the data directory has its own checkpoints)")
+		os.Exit(1)
+	}
 	if *load != "" {
 		if err := srv.loadSnapshot(*load); err != nil {
 			logger.Error("loading snapshot failed", "path", *load, "err", err)
 			os.Exit(1)
 		}
 		logger.Info("resumed from snapshot", "path", *load)
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			logger.Error("bad -fsync flag", "err", err)
+			os.Exit(1)
+		}
+		res, err := srv.enableDurability(*dataDir, wal.Options{Sync: policy}, *ckptN)
+		if err != nil {
+			logger.Error("recovery failed", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("recovered",
+			"dir", *dataDir, "fsync", policy.String(),
+			"checkpoint_lsn", res.CheckpointLSN, "replayed", res.Replayed,
+			"skipped_ops", res.SkippedOps, "torn_tail", res.TornTail,
+			"checkpoints_skipped", res.CheckpointsSkipped)
 	}
 	if *metrics != "" {
 		mln, err := srv.serveMetrics(*metrics)
@@ -117,14 +162,101 @@ func main() {
 		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
+	// Graceful shutdown: the signal goroutine only closes the
+	// listener; the accept loop then runs the actual shutdown on the
+	// main goroutine and returns, so the process exits 0 strictly
+	// after the final checkpoint and WAL fsync completed.
+	var closing atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Info("shutdown signal received", "signal", s.String())
+		closing.Store(true)
+		ln.Close()
+	}()
 	logger.Info("listening", "addr", ln.Addr().String(), "dims", srv.dims, "op", *opArg)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if closing.Load() {
+				srv.shutdown()
+				logger.Info("shutdown complete")
+				return
+			}
 			logger.Error("accept failed", "err", err)
-			return
+			os.Exit(1)
 		}
 		go srv.handle(conn)
+	}
+}
+
+// enableDurability recovers the cube from dir and attaches the WAL:
+// the recovered (or fresh) cube replaces the server's, its op sink
+// appends to the log, and WAL metrics join the registry. The recovered
+// cube's dimensions must match the -dims flag, which fixes the
+// protocol's coordinate arity.
+func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery int64) (wal.RecoverResult, error) {
+	opts.Metrics = wal.NewMetrics(s.reg)
+	cube, log, res, err := wal.Recover(dir, opts, func() (*core.Cube, error) {
+		return s.cube, nil // fresh, still untouched
+	})
+	if err != nil {
+		return res, err
+	}
+	shape := cube.Shape()
+	if len(shape) != s.dims {
+		log.Close()
+		return res, fmt.Errorf("recovered cube has %d dimensions, -dims specifies %d", len(shape), s.dims)
+	}
+	cube.SetInstruments(s.ins)
+	cube.SetOpSink(func(op core.Op) error {
+		_, err := log.Append(op)
+		return err
+	})
+	log.RegisterStateMetrics(s.reg)
+	s.mu.Lock()
+	s.cube = cube
+	s.wal = log
+	s.checkpointEvery = checkpointEvery
+	s.mu.Unlock()
+	return res, nil
+}
+
+// shutdown writes a final checkpoint and closes the WAL and cube. It
+// holds mu throughout, so in-flight requests finish first and later
+// ones fail cleanly on the closed log.
+func (s *server) shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if lsn, err := s.wal.Checkpoint(s.cube.Save); err != nil {
+			s.log.Error("final checkpoint failed", "err", err)
+		} else {
+			s.log.Info("final checkpoint written", "lsn", lsn)
+		}
+		if err := s.wal.Close(); err != nil {
+			s.log.Error("closing WAL failed", "err", err)
+		}
+	}
+	if err := s.cube.Close(); err != nil {
+		s.log.Error("closing cube failed", "err", err)
+	}
+}
+
+// maybeCheckpointLocked runs the every-N-records checkpoint policy;
+// the caller holds mu. Checkpoint failures are logged, not fatal: the
+// log keeps growing, so durability degrades to slower recovery rather
+// than data loss.
+func (s *server) maybeCheckpointLocked() {
+	if s.wal == nil {
+		return
+	}
+	ran, err := s.wal.MaybeCheckpoint(s.checkpointEvery, s.cube.Save)
+	if err != nil {
+		s.log.Error("checkpoint failed", "err", err)
+	} else if ran {
+		s.log.Info("checkpoint written", "lsn", s.wal.LastLSN())
 	}
 }
 
@@ -291,6 +423,21 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			return "ERR " + err.Error(), false
 		}
 		return "OK", false
+	case "CHECKPOINT":
+		if len(fields) != 1 {
+			return "ERR CHECKPOINT takes no arguments", false
+		}
+		s.mu.Lock()
+		if s.wal == nil {
+			s.mu.Unlock()
+			return "ERR no data directory configured (start with -data-dir)", false
+		}
+		lsn, err := s.wal.Checkpoint(s.cube.Save)
+		s.mu.Unlock()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("OK %d", lsn), false
 	case "INS", "DEL":
 		// INS <time> <c1>..<cd> <value>
 		if len(fields) != 1+1+s.dims+1 {
@@ -317,6 +464,9 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			err = s.cube.Insert(nums[0], coords, val)
 		} else {
 			err = s.cube.Delete(nums[0], coords, val)
+		}
+		if err == nil {
+			s.maybeCheckpointLocked()
 		}
 		s.mu.Unlock()
 		if err != nil {

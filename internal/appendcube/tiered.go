@@ -30,6 +30,10 @@ func NewTieredStore(sliceSize int, cold SliceStore) *TieredStore {
 	return &TieredStore{hot: NewMemStore(sliceSize), cold: cold}
 }
 
+// Cold exposes the cold store (for flushing and closing its backing
+// resources).
+func (t *TieredStore) Cold() SliceStore { return t.cold }
+
 // Flags implements SliceStore: hot slices carry flags; cold reads
 // report materialised DDC values, which the flag-based read rule
 // handles (a demoted slice is complete, so no cell falls back to

@@ -125,6 +125,10 @@ type Cube struct {
 	// ins, when non-nil, receives per-operation latency observations
 	// (see instrument.go).
 	ins *Instruments
+
+	// sink, when non-nil, receives every mutation before it is applied
+	// — the write-ahead hook (see op.go).
+	sink func(Op) error
 }
 
 // New returns an empty cube.
@@ -225,6 +229,9 @@ func (c *Cube) Insert(t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Insert).ObserveDuration()
 	}
+	if err := c.logOp(Op{Kind: OpInsert, Time: t, Coords: coords, Value: v}); err != nil {
+		return err
+	}
 	val := agg.Point(c.cfg.Operator, v)
 	return c.apply(t, coords, val)
 }
@@ -235,6 +242,9 @@ func (c *Cube) Delete(t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Delete).ObserveDuration()
 	}
+	if err := c.logOp(Op{Kind: OpDelete, Time: t, Coords: coords, Value: v}); err != nil {
+		return err
+	}
 	val := agg.Point(c.cfg.Operator, v).Neg()
 	return c.apply(t, coords, val)
 }
@@ -242,6 +252,13 @@ func (c *Cube) Delete(t int64, coords []int, v float64) error {
 // AddDelta adjusts the raw sum component directly (SUM cubes only):
 // the measure at coords changes by delta at time t.
 func (c *Cube) AddDelta(t int64, coords []int, delta float64) error {
+	if err := c.logOp(Op{Kind: OpAddDelta, Time: t, Coords: coords, Value: delta}); err != nil {
+		return err
+	}
+	return c.applyDelta(t, coords, delta)
+}
+
+func (c *Cube) applyDelta(t int64, coords []int, delta float64) error {
 	if c.cfg.Operator != agg.Sum {
 		return fmt.Errorf("core: AddDelta requires the SUM operator, cube uses %s", c.cfg.Operator)
 	}
@@ -365,6 +382,31 @@ func (c *Cube) Retire() error {
 		return c.cnt.ForceComplete()
 	}
 	return nil
+}
+
+// Close releases storage resources: disk-backed historic stores flush
+// their page buffer, fsync and close the page file, propagating any
+// error. Memory-backed cubes close trivially. The cube must not be
+// used after Close.
+func (c *Cube) Close() error {
+	err := closeStore(c.sum.Store())
+	if c.cnt != nil {
+		if cerr := closeStore(c.cnt.Store()); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func closeStore(s appendcube.SliceStore) error {
+	switch st := s.(type) {
+	case *appendcube.DiskStore:
+		return st.Pager().Close()
+	case *appendcube.TieredStore:
+		return closeStore(st.Cold())
+	default:
+		return nil
+	}
 }
 
 // Age retires the oldest n historic slices to cold storage (Tiered

@@ -135,6 +135,95 @@ func TestSaveLoadAverage(t *testing.T) {
 	}
 }
 
+// TestSaveLoadOutOfOrderBuffers pins the snapshot round trip for
+// cubes with non-empty G_d buffers: an AVERAGE cube keeps *two*
+// R*-trees (sum and count), and both must survive Save/Load with
+// query equivalence across windows that do and do not overlap the
+// buffered points.
+func TestSaveLoadOutOfOrderBuffers(t *testing.T) {
+	for _, op := range []agg.Operator{agg.Sum, agg.Count, agg.Average} {
+		t.Run(op.String(), func(t *testing.T) {
+			c, err := New(Config{
+				Dims:             []Dim{{Name: "a", Size: 5}, {Name: "b", Size: 4}},
+				Operator:         op,
+				BufferOutOfOrder: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(int64(op) + 100))
+			now := int64(1)
+			buffered := 0
+			for i := 0; i < 250; i++ {
+				var tv int64
+				if i > 10 && r.Intn(3) == 0 {
+					tv = int64(r.Intn(int(now))) // historic: lands in G_d
+					buffered++
+				} else {
+					if r.Intn(3) == 0 {
+						now++
+					}
+					tv = now
+				}
+				if err := c.Insert(tv, []int{r.Intn(5), r.Intn(4)}, float64(r.Intn(7)+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := c.Stats().PendingOutOfOrder; n == 0 || n != buffered {
+				t.Fatalf("pending out-of-order = %d, want %d (test must exercise G_d)", n, buffered)
+			}
+
+			var buf bytes.Buffer
+			if err := c.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := back.Stats().PendingOutOfOrder; got != buffered {
+				t.Fatalf("restored pending out-of-order = %d, want %d", got, buffered)
+			}
+			for q := 0; q < 120; q++ {
+				lo := []int{r.Intn(5), r.Intn(4)}
+				hi := []int{lo[0] + r.Intn(5-lo[0]), lo[1] + r.Intn(4-lo[1])}
+				tLo := int64(r.Intn(int(now) + 2))
+				rng := Range{TimeLo: tLo, TimeHi: tLo + int64(r.Intn(int(now)+2)), Lo: lo, Hi: hi}
+				want, err := c.Query(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := back.Query(rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("restored %s query %+v = %v, want %v", op, rng, got, want)
+				}
+			}
+			// The restored buffers must also absorb further
+			// out-of-order updates identically.
+			for i := 0; i < 40; i++ {
+				tv := int64(r.Intn(int(now)))
+				coords := []int{r.Intn(5), r.Intn(4)}
+				v := float64(r.Intn(7) + 1)
+				if err := c.Insert(tv, coords, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := back.Insert(tv, coords, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := Range{TimeLo: 0, TimeHi: now + 1, Lo: []int{0, 0}, Hi: []int{4, 3}}
+			want, _ := c.Query(rng)
+			got, _ := back.Query(rng)
+			if want != got {
+				t.Fatalf("post-restore ingest diverged: %v vs %v", got, want)
+			}
+		})
+	}
+}
+
 func TestSaveRejectsDiskCube(t *testing.T) {
 	c, _ := New(Config{Dims: []Dim{{Name: "x", Size: 8}}, Operator: agg.Sum, Storage: Storage{Kind: Disk}})
 	if err := c.Insert(1, []int{0}, 1); err != nil {

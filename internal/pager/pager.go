@@ -33,7 +33,10 @@ type Backend interface {
 	Load(id int, buf []byte) error
 	// Store persists buf (exactly one page) as page id.
 	Store(id int, buf []byte) error
-	// Close releases backend resources.
+	// Sync forces stored pages to stable storage.
+	Sync() error
+	// Close releases backend resources, syncing first where that is
+	// meaningful.
 	Close() error
 }
 
@@ -73,6 +76,9 @@ func (m *MemBackend) Store(id int, buf []byte) error {
 	return nil
 }
 
+// Sync implements Backend; memory pages are as stable as they get.
+func (m *MemBackend) Sync() error { return nil }
+
 // Close implements Backend.
 func (m *MemBackend) Close() error { return nil }
 
@@ -88,6 +94,17 @@ type FileBackend struct {
 // NewFileBackend creates (or truncates) the file at path.
 func NewFileBackend(path string, pageSize int) (*FileBackend, error) {
 	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileBackend{f: f, size: pageSize}, nil
+}
+
+// OpenFileBackend opens the page file at path without truncating it,
+// creating it when absent — the reopen path a durable deployment takes
+// across restarts.
+func OpenFileBackend(path string, pageSize int) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -112,8 +129,20 @@ func (b *FileBackend) Store(id int, buf []byte) error {
 	return err
 }
 
-// Close implements Backend.
-func (b *FileBackend) Close() error { return b.f.Close() }
+// Sync implements Backend: fsync the page file.
+func (b *FileBackend) Sync() error { return b.f.Sync() }
+
+// Close implements Backend. It syncs before closing — pages written
+// through WriteAt otherwise sit in the OS cache with no durability
+// point at all — and propagates both the sync and the close error
+// (first one wins) instead of swallowing them.
+func (b *FileBackend) Close() error {
+	err := b.f.Sync()
+	if cerr := b.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Pager provides cell-granular access to paged storage of float32
 // measure values, with the single-page buffer cost model. Reads and
@@ -207,6 +236,15 @@ func (p *Pager) WriteCell(i int, v float64) error {
 
 // Flush writes the buffered page back if dirty.
 func (p *Pager) Flush() error { return p.flushLocked() }
+
+// Sync flushes the buffered page and forces the backend to stable
+// storage.
+func (p *Pager) Sync() error {
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	return p.backend.Sync()
+}
 
 // Close flushes and closes the backend.
 func (p *Pager) Close() error {

@@ -186,3 +186,46 @@ func TestPagerShadowProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFileBackendSyncAndCloseErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.dat")
+	b, err := NewFileBackend(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := New(b, 64)
+	if err := p.WriteCell(3, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Sync flushes the dirty buffered page before fsyncing: the value
+	// must be on disk afterwards, visible through a second backend.
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenFileBackend(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := New(b2, 64)
+	if got, err := p2.ReadCell(3); err != nil || got != 42 {
+		t.Fatalf("after Sync, reopened cell = %v (%v), want 42", got, err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second close hits the already-closed file; the error must
+	// surface instead of being swallowed.
+	if err := b.Close(); err == nil {
+		t.Error("double close reported no error")
+	}
+}
+
+func TestMemBackendSync(t *testing.T) {
+	b := NewMemBackend(64)
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package wal
+
+import "histcube/internal/obs"
+
+// Metrics bundles the WAL's counters and histograms. Pass one (from
+// NewMetrics) in Options to instrument a log; a nil Metrics disables
+// instrumentation with a single branch per event. Gauges derived from
+// live log state are registered separately via Log.RegisterStateMetrics
+// once the log exists.
+type Metrics struct {
+	Appends          *obs.Counter
+	AppendedBytes    *obs.Counter
+	Fsyncs           *obs.Counter
+	Rotations        *obs.Counter
+	Checkpoints      *obs.Counter
+	CheckpointErrors *obs.Counter
+	Replayed         *obs.Counter
+	ReplaySkipped    *obs.Counter
+	TornTruncations  *obs.Counter
+
+	CheckpointDuration *obs.Histogram
+}
+
+// NewMetrics registers the WAL metric families on reg under the
+// histcube_wal_ prefix.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:       reg.NewCounter("histcube_wal_appends_total", "Records appended to the write-ahead log."),
+		AppendedBytes: reg.NewCounter("histcube_wal_appended_bytes_total", "Bytes appended to the write-ahead log."),
+		Fsyncs:        reg.NewCounter("histcube_wal_fsyncs_total", "fsync calls issued for the active segment."),
+		Rotations:     reg.NewCounter("histcube_wal_segment_rotations_total", "Segment rotations."),
+		Checkpoints:   reg.NewCounter("histcube_wal_checkpoints_total", "Checkpoints written."),
+		CheckpointErrors: reg.NewCounter("histcube_wal_checkpoint_errors_total",
+			"Checkpoint attempts that failed (the log keeps growing)."),
+		Replayed: reg.NewCounter("histcube_wal_replayed_records_total",
+			"Log records re-applied during crash recovery."),
+		ReplaySkipped: reg.NewCounter("histcube_wal_replay_skipped_total",
+			"Replayed records whose re-apply failed (they failed identically when first logged)."),
+		TornTruncations: reg.NewCounter("histcube_wal_torn_truncations_total",
+			"Torn final records truncated during recovery."),
+		CheckpointDuration: reg.NewHistogram("histcube_wal_checkpoint_duration_seconds",
+			"Duration of checkpoint writes (snapshot + fsync + prune).", nil),
+	}
+}

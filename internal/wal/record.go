@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"histcube/internal/core"
+)
+
+// On-disk layout.
+//
+// A segment file is a 16-byte header followed by records:
+//
+//	header:  magic "HWAL" | version u32 | firstLSN u64
+//	record:  crc32 u32 | size u32 | payload (size bytes)
+//	payload: kind u8 | time i64 | ndims u16 | coord i64 × ndims | value f64
+//
+// Everything is little-endian. The CRC (IEEE) covers the payload only;
+// the size field is validated by range before it is trusted. Records
+// carry no explicit LSN: a record's LSN is the segment's firstLSN plus
+// its index, which stays correct because segments are append-only and
+// recovery truncates any torn tail before new appends continue.
+const (
+	segMagic      = "HWAL"
+	segVersion    = 1
+	segHeaderSize = 16
+
+	recHeaderSize = 8
+	// minPayload is an op with zero coordinates.
+	minPayload = 1 + 8 + 2 + 8
+	// maxRecordSize bounds one payload; anything larger is treated as
+	// corruption rather than an allocation request.
+	maxRecordSize = 1 << 20
+	// maxDims bounds the coordinate count of a decoded record.
+	maxDims = (maxRecordSize - minPayload) / 8
+)
+
+func encodeSegHeader(firstLSN uint64) []byte {
+	b := make([]byte, segHeaderSize)
+	copy(b, segMagic)
+	binary.LittleEndian.PutUint32(b[4:], segVersion)
+	binary.LittleEndian.PutUint64(b[8:], firstLSN)
+	return b
+}
+
+func parseSegHeader(b []byte) (firstLSN uint64, err error) {
+	if len(b) < segHeaderSize || string(b[:4]) != segMagic {
+		return 0, fmt.Errorf("wal: bad segment header")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != segVersion {
+		return 0, fmt.Errorf("wal: segment version %d not supported", v)
+	}
+	return binary.LittleEndian.Uint64(b[8:]), nil
+}
+
+// appendRecord appends the framed record for op to dst.
+func appendRecord(dst []byte, op core.Op) ([]byte, error) {
+	if len(op.Coords) > maxDims {
+		return dst, fmt.Errorf("wal: op has %d coordinates, limit %d", len(op.Coords), maxDims)
+	}
+	size := minPayload + 8*len(op.Coords)
+	start := len(dst)
+	dst = append(dst, make([]byte, recHeaderSize+size)...)
+	p := dst[start+recHeaderSize:]
+	p[0] = byte(op.Kind)
+	binary.LittleEndian.PutUint64(p[1:], uint64(op.Time))
+	binary.LittleEndian.PutUint16(p[9:], uint16(len(op.Coords)))
+	off := 11
+	for _, c := range op.Coords {
+		binary.LittleEndian.PutUint64(p[off:], uint64(int64(c)))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(p[off:], math.Float64bits(op.Value))
+	binary.LittleEndian.PutUint32(dst[start:], crc32.ChecksumIEEE(p))
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(size))
+	return dst, nil
+}
+
+// decodePayload parses one CRC-verified payload back into an op.
+func decodePayload(p []byte) (core.Op, error) {
+	if len(p) < minPayload {
+		return core.Op{}, fmt.Errorf("wal: payload too short (%d bytes)", len(p))
+	}
+	op := core.Op{
+		Kind: core.OpKind(p[0]),
+		Time: int64(binary.LittleEndian.Uint64(p[1:])),
+	}
+	n := int(binary.LittleEndian.Uint16(p[9:]))
+	if len(p) != minPayload+8*n {
+		return core.Op{}, fmt.Errorf("wal: payload size %d does not match %d coordinates", len(p), n)
+	}
+	op.Coords = make([]int, n)
+	off := 11
+	for i := range op.Coords {
+		op.Coords[i] = int(int64(binary.LittleEndian.Uint64(p[off:])))
+		off += 8
+	}
+	op.Value = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+	return op, nil
+}
+
+// readSegment reads a whole segment file. It returns the segment's
+// first LSN, the decoded ops, the byte offset up to which the file is
+// valid, and whether a torn (incomplete or corrupt) tail was found
+// after goodLen. A file whose header itself is unreadable returns an
+// error; the caller decides whether that is fatal (mid-log) or
+// discardable (final segment of an interrupted run).
+func readSegment(path string) (first uint64, ops []core.Op, goodLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	first, err = parseSegHeader(data)
+	if err != nil {
+		return 0, nil, 0, false, fmt.Errorf("%w: %s", err, path)
+	}
+	off := segHeaderSize
+	for off < len(data) {
+		if len(data)-off < recHeaderSize {
+			return first, ops, int64(off), true, nil
+		}
+		crc := binary.LittleEndian.Uint32(data[off:])
+		size := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if size < minPayload || size > maxRecordSize || off+recHeaderSize+size > len(data) {
+			return first, ops, int64(off), true, nil
+		}
+		payload := data[off+recHeaderSize : off+recHeaderSize+size]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return first, ops, int64(off), true, nil
+		}
+		op, derr := decodePayload(payload)
+		if derr != nil {
+			// CRC-valid but undecodable: treat like any other torn
+			// tail so recovery truncates instead of failing.
+			return first, ops, int64(off), true, nil
+		}
+		ops = append(ops, op)
+		off += recHeaderSize + size
+	}
+	return first, ops, int64(off), false, nil
+}

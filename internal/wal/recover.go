@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+
+	"histcube/internal/core"
+)
+
+// RecoverResult reports what recovery found and did.
+type RecoverResult struct {
+	// CheckpointLSN is the LSN covered by the checkpoint that seeded
+	// the cube (0 when recovery started from an empty cube).
+	CheckpointLSN uint64
+	// CheckpointsSkipped counts unreadable checkpoint files passed
+	// over before a loadable one (or none) was found.
+	CheckpointsSkipped int
+	// Replayed counts log records re-applied on top of the checkpoint.
+	Replayed int
+	// SkippedOps counts replayed records whose re-apply failed; they
+	// failed identically when first logged, so skipping them
+	// reproduces the pre-crash state.
+	SkippedOps int
+	// TornTail reports that a torn final record (an append interrupted
+	// by the crash) was truncated away.
+	TornTail bool
+}
+
+// Recover opens the durable directory (creating it when absent),
+// loads the newest readable checkpoint, replays the log tail on top
+// of it, truncates a torn final record, and returns the recovered
+// cube together with a Log positioned for further appends.
+//
+// newCube constructs the empty cube used when no checkpoint exists
+// (first boot, or every checkpoint unreadable but the log intact from
+// LSN 1). The recovered cube does not yet have an op sink attached —
+// the caller wires cube.SetOpSink to log.Append after Recover, so
+// replay never re-logs.
+func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*core.Cube, *Log, RecoverResult, error) {
+	opts = opts.withDefaults()
+	var res RecoverResult
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, res, err
+	}
+
+	// 1. Seed from the newest checkpoint that loads.
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	var cube *core.Cube
+	var ckptAt int64
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		f, err := os.Open(ckpts[i].path)
+		if err != nil {
+			res.CheckpointsSkipped++
+			continue
+		}
+		c, lerr := core.Load(f)
+		f.Close()
+		if lerr != nil {
+			res.CheckpointsSkipped++
+			continue
+		}
+		cube = c
+		res.CheckpointLSN = ckpts[i].seq
+		if fi, err := os.Stat(ckpts[i].path); err == nil {
+			ckptAt = fi.ModTime().UnixNano()
+		}
+		break
+	}
+	if cube == nil {
+		if cube, err = newCube(); err != nil {
+			return nil, nil, res, err
+		}
+	}
+
+	// 2. Replay the log tail. Records carry implicit LSNs (segment
+	// firstLSN + index); everything at or below the checkpoint is
+	// already in the snapshot and is skipped.
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	lastLSN := res.CheckpointLSN
+	if len(segs) > 0 && res.CheckpointLSN != 0 && segs[0].seq > res.CheckpointLSN+1 {
+		return nil, nil, res, fmt.Errorf("wal: log gap after checkpoint %d: oldest segment starts at LSN %d",
+			res.CheckpointLSN, segs[0].seq)
+	}
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		first, ops, goodLen, torn, err := readSegment(sg.path)
+		if err != nil {
+			if !last {
+				return nil, nil, res, fmt.Errorf("wal: unreadable mid-log segment: %w", err)
+			}
+			// A final segment without even a valid header is the
+			// remains of an interrupted rotation: nothing in it was
+			// ever acknowledged, so discard it.
+			if rerr := os.Remove(sg.path); rerr != nil {
+				return nil, nil, res, rerr
+			}
+			res.TornTail = true
+			segs = segs[:i]
+			break
+		}
+		if torn {
+			if !last {
+				return nil, nil, res, fmt.Errorf("wal: segment %s corrupt before the log tail", sg.path)
+			}
+			if terr := os.Truncate(sg.path, goodLen); terr != nil {
+				return nil, nil, res, terr
+			}
+			res.TornTail = true
+			if m := opts.Metrics; m != nil {
+				m.TornTruncations.Inc()
+			}
+		}
+		if first != sg.seq {
+			return nil, nil, res, fmt.Errorf("wal: segment %s header LSN %d does not match its name", sg.path, first)
+		}
+		for j, op := range ops {
+			lsn := first + uint64(j)
+			if lsn <= res.CheckpointLSN {
+				continue
+			}
+			if aerr := cube.ApplyOp(op); aerr != nil {
+				res.SkippedOps++
+				if m := opts.Metrics; m != nil {
+					m.ReplaySkipped.Inc()
+				}
+			} else {
+				res.Replayed++
+				if m := opts.Metrics; m != nil {
+					m.Replayed.Inc()
+				}
+			}
+		}
+		if end := first + uint64(len(ops)) - 1; len(ops) > 0 && end > lastLSN {
+			lastLSN = end
+		} else if len(ops) == 0 && first > 0 && first-1 > lastLSN {
+			// An empty segment still proves every LSN below its first
+			// was allocated.
+			lastLSN = first - 1
+		}
+	}
+
+	// 3. Position the log for appends: continue the last segment, or
+	// start a fresh one.
+	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1, ckptLSN: res.CheckpointLSN, segCount: len(segs)}
+	if ckptAt != 0 {
+		l.ckptNano.Store(ckptAt)
+	}
+	if len(segs) > 0 {
+		sg := segs[len(segs)-1]
+		fi, err := os.Stat(sg.path)
+		if err != nil {
+			return nil, nil, res, err
+		}
+		f, err := os.OpenFile(sg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, res, err
+		}
+		l.f = f
+		l.segFirst = sg.seq
+		l.segBytes = fi.Size()
+	} else {
+		f, err := createSegment(dir, l.nextLSN)
+		if err != nil {
+			return nil, nil, res, err
+		}
+		l.f = f
+		l.segFirst = l.nextLSN
+		l.segBytes = segHeaderSize
+		l.segCount = 1
+	}
+	l.startSyncLoop()
+	return cube, l, res, nil
+}

@@ -1,0 +1,401 @@
+// Package wal is histcube's durability subsystem: a segmented,
+// CRC32-checksummed, binary write-ahead log of the core facade's
+// mutation stream, plus checkpointing and crash recovery.
+//
+// The paper's framework (Section 2.2) is deliberately append-only —
+// updates only ever touch the latest instance R_{d-1}(t), and out-of-
+// order corrections go to a side buffer — so the whole cube state is a
+// deterministic function of a linear op stream. That is exactly the
+// access pattern a WAL serialises for free: the log *is* the update
+// stream, and replaying it against an empty (or checkpointed) cube
+// reproduces the state, including the out-of-order buffer.
+//
+// Layout of a durable directory:
+//
+//	wal-<firstLSN>.seg      log segments (16-byte header + records)
+//	checkpoint-<lsn>.ckpt   core.Save snapshots covering LSNs <= lsn
+//
+// LSNs start at 1 and increase by one per appended record. A
+// checkpoint file named for LSN n makes every record with LSN <= n
+// redundant; checkpointing rotates the active segment and deletes
+// segments that lie entirely below the oldest retained checkpoint, so
+// the directory stays bounded by the checkpoint cadence. Recovery
+// (see Recover) loads the newest readable checkpoint, replays the log
+// tail, and truncates — rather than fails on — a torn final record.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"histcube/internal/core"
+	"histcube/internal/obs"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable, at one fsync per record.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.SyncEvery): crash loss is
+	// bounded by the interval.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (and to rotation, checkpoint
+	// and Close): fastest, weakest.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the flag spellings "always", "interval" and
+// "never" to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// String names the policy as ParseSyncPolicy spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", int(p))
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes; 0 selects 4 MiB.
+	SegmentSize int64
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period; 0 selects 100ms.
+	SyncEvery time.Duration
+	// KeepCheckpoints retains the newest N checkpoint files (log
+	// segments are kept back to the oldest retained one, so recovery
+	// can fall back past a corrupt checkpoint); 0 selects 2.
+	KeepCheckpoints int
+	// Metrics, when non-nil, receives append/fsync/checkpoint/replay
+	// counters (see NewMetrics).
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an open write-ahead log positioned for appends. Construct one
+// through Recover; all methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	segFirst  uint64   // first LSN of the active segment
+	segBytes  int64    // bytes written to the active segment
+	segCount  int      // segment files on disk, including the active one
+	nextLSN   uint64
+	dirty     bool // unsynced appends
+	sinceCkpt int64
+	ckptLSN   uint64
+	closed    bool
+	buf       []byte // encode scratch
+
+	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
+
+	stop chan struct{} // interval-sync goroutine lifecycle
+	done chan struct{}
+}
+
+func segName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
+func ckptName(lsn uint64) string  { return fmt.Sprintf("checkpoint-%016x.ckpt", lsn) }
+
+// parseSeq extracts the hex sequence number from a segment or
+// checkpoint file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	var v uint64
+	if _, err := fmt.Sscanf(mid, "%x", &v); err != nil || len(mid) == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+type dirEntry struct {
+	path string
+	seq  uint64 // firstLSN for segments, covered LSN for checkpoints
+}
+
+func listDir(dir, prefix, suffix string) ([]dirEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []dirEntry
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			out = append(out, dirEntry{path: filepath.Join(dir, e.Name()), seq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+func listSegments(dir string) ([]dirEntry, error)    { return listDir(dir, "wal-", ".seg") }
+func listCheckpoints(dir string) ([]dirEntry, error) { return listDir(dir, "checkpoint-", ".ckpt") }
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// createSegment writes a fresh segment file whose records start at
+// first, and makes its creation durable.
+func createSegment(dir string, first uint64) (*os.File, error) {
+	path := filepath.Join(dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(encodeSegHeader(first)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// startSyncLoop launches the interval-fsync goroutine when the policy
+// asks for one.
+func (l *Log) startSyncLoop() {
+	if l.opts.Sync != SyncInterval {
+		return
+	}
+	l.stop = make(chan struct{})
+	l.done = make(chan struct{})
+	go func() {
+		t := time.NewTicker(l.opts.SyncEvery)
+		defer t.Stop()
+		defer close(l.done)
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				l.Sync() // best effort; Append surfaces hard errors
+			}
+		}
+	}()
+}
+
+// Append writes one op to the log and returns its LSN. Under
+// SyncAlways the record is durable when Append returns.
+func (l *Log) Append(op core.Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec, err := appendRecord(l.buf[:0], op)
+	if err != nil {
+		return 0, err
+	}
+	l.buf = rec
+	if l.segBytes+int64(len(rec)) > l.opts.SegmentSize && l.segBytes > segHeaderSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return 0, err
+	}
+	l.segBytes += int64(len(rec))
+	l.dirty = true
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.sinceCkpt++
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(int64(len(rec)))
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens a new
+// one starting at the next LSN.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := createSegment(l.dir, l.nextLSN)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segFirst = l.nextLSN
+	l.segBytes = segHeaderSize
+	l.segCount++
+	if m := l.opts.Metrics; m != nil {
+		m.Rotations.Inc()
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	if m := l.opts.Metrics; m != nil {
+		m.Fsyncs.Inc()
+	}
+	return nil
+}
+
+// Sync forces unsynced appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// Close flushes, fsyncs and closes the log. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// Dir returns the durable directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastLSN returns the LSN of the most recently appended record (0
+// before the first append).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// SinceCheckpoint returns the number of records appended since the
+// last checkpoint (or since recovery).
+func (l *Log) SinceCheckpoint() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceCkpt
+}
+
+// Segments returns the number of segment files, including the active
+// one.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segCount
+}
+
+// RegisterStateMetrics registers gauges derived from the log's state:
+// segment count, last LSN, records since the last checkpoint, and the
+// age of the last checkpoint (-1 before the first). The gauge
+// callbacks take the log's mutex at scrape time.
+func (l *Log) RegisterStateMetrics(reg *obs.Registry) {
+	reg.NewGaugeFunc("histcube_wal_segments",
+		"WAL segment files on disk, including the active one.",
+		func() float64 { return float64(l.Segments()) })
+	reg.NewGaugeFunc("histcube_wal_last_lsn",
+		"LSN of the most recently appended WAL record.",
+		func() float64 { return float64(l.LastLSN()) })
+	reg.NewGaugeFunc("histcube_wal_records_since_checkpoint",
+		"Records appended since the last checkpoint.",
+		func() float64 { return float64(l.SinceCheckpoint()) })
+	reg.NewGaugeFunc("histcube_wal_checkpoint_age_seconds",
+		"Seconds since the last checkpoint completed; -1 before the first.",
+		func() float64 {
+			ns := l.ckptNano.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+}
