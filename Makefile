@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench fmt crash
+.PHONY: check build test race bench fmt crash lint fuzz
 
 check:
 	./check.sh
@@ -12,7 +12,14 @@ test:
 	go test ./...
 
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
+
+lint:
+	go run ./cmd/histlint ./...
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
+	go test -run='^$$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
 
 bench:
 	go test -bench=. -benchmem

@@ -18,8 +18,18 @@ go build ./...
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== go test -race ./... =="
-go test -race ./...
+echo "== histlint ./... =="
+# Project-specific invariants (see DESIGN.md "Static analysis"):
+# lock discipline, log-before-apply, metric naming, guarded
+# narrowing, error wrapping, float equality.
+go run ./cmd/histlint ./...
+
+echo "== go test -race -shuffle=on ./... =="
+go test -race -shuffle=on ./...
+
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
+go test -run='^$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
 
 echo "== crash-injection durability test =="
 # Runs inside the suite above too; re-run by name so a durability

@@ -56,18 +56,27 @@ func main() {
 
 	ds := workload.Generate(spec)
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "histgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := ds.WriteCSV(w); err != nil {
 		fmt.Fprintf(os.Stderr, "histgen: %v\n", err)
 		os.Exit(1)
+	}
+	if f != nil {
+		// Close before reporting success: on a full disk the flush
+		// behind Close is where the write error surfaces.
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "histgen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "histgen: wrote %d updates (%s, %d non-empty cells, density %.4f)\n",
 		len(ds.Updates), ds.Name, ds.NonEmpty(), ds.Density())

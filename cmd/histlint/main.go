@@ -1,0 +1,75 @@
+// Command histlint runs histcube's stdlib-only static-analysis suite
+// over the module in the current directory.
+//
+// Usage:
+//
+//	histlint [-json] [-list] [packages]
+//
+// Packages default to ./... and accept the same directory patterns the
+// go tool does (./internal/core, ./internal/..., ...). Exit status is
+// 0 when the tree is clean, 1 when findings were reported, and 2 when
+// the analysis itself failed (unparseable source, broken types, bad
+// pattern).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"histcube/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("histlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: histlint [-json] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "histlint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "histlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "histlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

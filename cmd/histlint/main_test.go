@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildHistlint compiles the histlint binary once into a temp dir.
+func buildHistlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "histlint")
+	cmd := exec.Command("go", "build", "-o", bin, "histcube/cmd/histlint")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building histlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// dirtyModule is a self-contained module with exactly one violation
+// per analyzer, at known positions.
+func dirtyModule(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"internal/obs/obs.go": `package obs
+
+type Counter struct{}
+
+type Registry struct{}
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+`,
+		"internal/appendcube/cube.go": `package appendcube
+
+type Cube struct{ cells []float64 }
+
+func (c *Cube) Update(i int, v float64) { c.cells[i] += v }
+`,
+		// InsertUnlogged's apply call is on line 13.
+		"internal/core/core.go": `package core
+
+import "tempmod/internal/appendcube"
+
+type Op struct{ Cell int }
+
+type Cube struct{ inner *appendcube.Cube }
+
+func (c *Cube) logOp(op Op) error { return nil }
+func (c *Cube) apply(op Op)       { c.inner.Update(op.Cell, 1) }
+
+func (c *Cube) InsertUnlogged(op Op) {
+	c.apply(op)
+}
+`,
+		// One violation per remaining analyzer, lines 14, 18, 22, 26, 30.
+		"lint.go": `package tempmod
+
+import (
+	"fmt"
+	"sync"
+
+	"tempmod/internal/obs"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) peek() int { return b.n }
+
+func narrow(v int64) int {
+	return int(v)
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("failed: %v", err)
+}
+
+func metric(reg *obs.Registry) {
+	reg.NewCounter("Bad_Name", "malformed")
+}
+
+func floatEq(a, b float64) bool {
+	return a == b
+}
+`,
+	})
+}
+
+// expected diagnostics for dirtyModule, in the driver's sort order
+// (file, then line): one per analyzer.
+var expected = []struct {
+	file     string
+	line     int
+	analyzer string
+	fragment string
+}{
+	{"internal/core/core.go", 13, "appendbeforeapply", "without logging it first"},
+	{"lint.go", 15, "mutexguard", "box.n is guarded by mu"},
+	{"lint.go", 18, "coordnarrow", "unguarded narrowing int(v)"},
+	{"lint.go", 22, "errwrap", "use %w"},
+	{"lint.go", 26, "metricname", "violates the naming contract"},
+	{"lint.go", 30, "nofloateq", "floating-point == comparison"},
+}
+
+func runHistlint(t *testing.T, bin, dir string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running histlint: %v", err)
+	}
+	return out.String(), errb.String(), exit
+}
+
+func TestHistlintEndToEnd(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := dirtyModule(t)
+
+	stdout, stderr, exit := runHistlint(t, bin, dir)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != len(expected) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(lines), len(expected), stdout)
+	}
+	for i, want := range expected {
+		prefix := filepath.Join(dir, filepath.FromSlash(want.file))
+		wantHead := prefix + ":" + strconv.Itoa(want.line) + ":"
+		if !strings.HasPrefix(lines[i], wantHead) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], wantHead)
+		}
+		if !strings.Contains(lines[i], ": "+want.analyzer+": ") {
+			t.Errorf("line %d = %q, want analyzer %q", i, lines[i], want.analyzer)
+		}
+		if !strings.Contains(lines[i], want.fragment) {
+			t.Errorf("line %d = %q, want fragment %q", i, lines[i], want.fragment)
+		}
+	}
+	if !strings.Contains(stderr, "6 finding(s)") {
+		t.Errorf("stderr = %q, want finding count", stderr)
+	}
+}
+
+func TestHistlintJSON(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := dirtyModule(t)
+
+	stdout, _, exit := runHistlint(t, bin, dir, "-json")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(expected))
+	}
+	for i, want := range expected {
+		d := diags[i]
+		if d.Analyzer != want.analyzer || d.Line != want.line || d.Col == 0 ||
+			d.File != filepath.Join(dir, filepath.FromSlash(want.file)) ||
+			!strings.Contains(d.Message, want.fragment) {
+			t.Errorf("diagnostic %d = %+v, want %+v", i, d, want)
+		}
+	}
+}
+
+func TestHistlintCleanModule(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := writeTree(t, map[string]string{
+		"go.mod":  "module cleanmod\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	stdout, stderr, exit := runHistlint(t, bin, dir)
+	if exit != 0 || strings.TrimSpace(stdout) != "" {
+		t.Fatalf("exit = %d, stdout = %q, stderr = %q; want clean exit 0", exit, stdout, stderr)
+	}
+}
+
+func TestHistlintBadPattern(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module cleanmod\n\ngo 1.22\n",
+	})
+	_, stderr, exit := runHistlint(t, bin, dir, "./nonexistent")
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr %q)", exit, stderr)
+	}
+}

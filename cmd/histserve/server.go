@@ -44,7 +44,6 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"math"
 	"net"
 	"net/http"
 	"os"
@@ -57,6 +56,7 @@ import (
 
 	"histcube/internal/agg"
 	"histcube/internal/core"
+	"histcube/internal/dims"
 	"histcube/internal/obs"
 	"histcube/internal/wal"
 )
@@ -78,7 +78,7 @@ var commands = []string{"INS", "DEL", "QRY", "STATS", "SAVE", "CHECKPOINT", "QUI
 // at scrape time.
 type server struct {
 	mu   sync.Mutex
-	cube *core.Cube
+	cube *core.Cube // guarded by mu
 	dims int
 
 	reg *obs.Registry
@@ -88,9 +88,8 @@ type server struct {
 	// wal, when non-nil, makes the server durable: the cube's op sink
 	// appends (and, under -fsync=always, fsyncs) every mutation before
 	// it is applied, and checkpointEvery drives automatic snapshots.
-	// Both are guarded by mu like the cube itself.
-	wal             *wal.Log
-	checkpointEvery int64
+	wal             *wal.Log // guarded by mu
+	checkpointEvery int64    // guarded by mu
 
 	connSeq     atomic.Int64
 	connections *obs.Gauge
@@ -173,7 +172,7 @@ func main() {
 		s := <-sig
 		logger.Info("shutdown signal received", "signal", s.String())
 		closing.Store(true)
-		ln.Close()
+		_ = ln.Close() // unblocking Accept is the point; the error is uninteresting
 	}()
 	logger.Info("listening", "addr", ln.Addr().String(), "dims", srv.dims, "op", *opArg)
 	for {
@@ -198,15 +197,18 @@ func main() {
 // protocol's coordinate arity.
 func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery int64) (wal.RecoverResult, error) {
 	opts.Metrics = wal.NewMetrics(s.reg)
+	s.mu.Lock()
+	fresh := s.cube // still untouched; captured under mu so Recover's callback needs no lock
+	s.mu.Unlock()
 	cube, log, res, err := wal.Recover(dir, opts, func() (*core.Cube, error) {
-		return s.cube, nil // fresh, still untouched
+		return fresh, nil
 	})
 	if err != nil {
 		return res, err
 	}
 	shape := cube.Shape()
 	if len(shape) != s.dims {
-		log.Close()
+		_ = log.Close() // the dimension mismatch is the actionable error
 		return res, fmt.Errorf("recovered cube has %d dimensions, -dims specifies %d", len(shape), s.dims)
 	}
 	cube.SetInstruments(s.ins)
@@ -291,7 +293,7 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 		log:  slog.Default(),
 	}
 	s.ins = core.NewInstruments(s.reg)
-	s.cube.SetInstruments(s.ins)
+	cube.SetInstruments(s.ins)
 	core.RegisterStatsMetrics(s.reg, func() core.Stats {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -340,7 +342,6 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 // id for log correlation and its requests/errors are accounted both
 // globally (metrics) and per connection (the close log line).
 func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
 	id := s.connSeq.Add(1)
 	s.connections.Inc()
 	s.connTotal.Inc()
@@ -348,6 +349,9 @@ func (s *server) handle(conn net.Conn) {
 	log.Info("connection opened")
 	var reqs, errs int64
 	defer func() {
+		if err := conn.Close(); err != nil {
+			log.Warn("closing connection failed", "err", err)
+		}
 		s.connections.Dec()
 		log.Info("connection closed", "requests", reqs, "errors", errs)
 	}()
@@ -427,17 +431,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		if len(fields) != 1 {
 			return "ERR CHECKPOINT takes no arguments", false
 		}
-		s.mu.Lock()
-		if s.wal == nil {
-			s.mu.Unlock()
-			return "ERR no data directory configured (start with -data-dir)", false
-		}
-		lsn, err := s.wal.Checkpoint(s.cube.Save)
-		s.mu.Unlock()
-		if err != nil {
-			return "ERR " + err.Error(), false
-		}
-		return fmt.Sprintf("OK %d", lsn), false
+		return s.checkpointNow(), false
 	case "INS", "DEL":
 		// INS <time> <c1>..<cd> <value>
 		if len(fields) != 1+1+s.dims+1 {
@@ -453,7 +447,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		}
 		coords := make([]int, s.dims)
 		for i := range coords {
-			c, ok := toCoord(nums[1+i])
+			c, ok := dims.ToCoord(nums[1+i])
 			if !ok {
 				return fmt.Sprintf("ERR coordinate %d overflows", nums[1+i]), false
 			}
@@ -485,8 +479,8 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		lo := make([]int, s.dims)
 		hi := make([]int, s.dims)
 		for i := 0; i < s.dims; i++ {
-			l, okl := toCoord(nums[2+i])
-			h, okh := toCoord(nums[2+s.dims+i])
+			l, okl := dims.ToCoord(nums[2+i])
+			h, okh := dims.ToCoord(nums[2+s.dims+i])
 			if !okl || !okh {
 				return "ERR coordinate overflows", false
 			}
@@ -503,6 +497,21 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 	default:
 		return "ERR unknown command " + cmd, false
 	}
+}
+
+// checkpointNow runs the CHECKPOINT command. It holds mu across the
+// whole snapshot so the covered LSN is exact.
+func (s *server) checkpointNow() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return "ERR no data directory configured (start with -data-dir)"
+	}
+	lsn, err := s.wal.Checkpoint(s.cube.Save)
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	return fmt.Sprintf("OK %d", lsn)
 }
 
 func (s *server) saveSnapshot(path string) error {
@@ -524,7 +533,8 @@ func (s *server) loadSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Read-only: decode errors are the signal, the close result is not.
+	defer func() { _ = f.Close() }()
 	t := obs.NewTimer(s.ins.SnapshotLoad)
 	cube, err := core.Load(f)
 	if err != nil {
@@ -536,18 +546,6 @@ func (s *server) loadSnapshot(path string) error {
 	s.cube = cube
 	s.mu.Unlock()
 	return nil
-}
-
-// toCoord narrows a parsed int64 to a cube coordinate. Coordinates are
-// bounded to int32 range: every real dimension is far smaller, and the
-// explicit check keeps a plain int(...) conversion from silently
-// truncating (and possibly wrapping back into the domain) on 32-bit
-// platforms.
-func toCoord(v int64) (int, bool) {
-	if v < math.MinInt32 || v > math.MaxInt32 {
-		return 0, false
-	}
-	return int(v), true
 }
 
 func parseInts(fields []string) ([]int64, error) {

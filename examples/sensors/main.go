@@ -54,7 +54,7 @@ func main() {
 	// occurring time (when the current tick has no report yet) and
 	// then appends in order, so buffered <= late.
 	fmt.Printf("late reports buffered in G_d: %d of %d stamped late\n", st.PendingOutOfOrder, late)
-	if int(st.OutOfOrderUpdates) > late {
+	if st.OutOfOrderUpdates > int64(late) {
 		log.Fatalf("bookkeeping mismatch: %d late vs %d buffered", late, st.OutOfOrderUpdates)
 	}
 

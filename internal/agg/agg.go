@@ -123,6 +123,7 @@ func Finalize(op Operator, v Value) float64 {
 	case Count:
 		return v.Count
 	case Average:
+		//histlint:ignore nofloateq Count accumulates exact small integers (±1 per point), so zero is exact and means an empty range
 		if v.Count == 0 {
 			return 0
 		}

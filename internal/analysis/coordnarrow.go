@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CoordNarrow flags unguarded narrowing conversions from int64/uint64
+// to int or int32. Cube coordinates arrive as int64 (wire format,
+// workload timestamps) but index into in-memory arrays as int; on a
+// 32-bit platform — or with a corrupted WAL record — a silent
+// truncation turns one cell's update into another cell's, which the
+// append-only design then preserves forever. The histserve toCoord
+// helper exists exactly to make this narrowing explicit; this analyzer
+// makes sure nothing bypasses it.
+//
+// A conversion is considered guarded when the operand is a constant
+// (the compiler checks the range) or when an earlier comparison in the
+// same function mentions the same expression — the toCoord/ToCoord
+// bounds-check shape. Anything else must either go through a guard
+// helper or carry a histlint:ignore directive with a reason.
+var CoordNarrow = &Analyzer{
+	Name: "coordnarrow",
+	Doc:  "int64→int narrowing must be range-guarded (coordinates index arrays)",
+	Run:  runCoordNarrow,
+}
+
+func runCoordNarrow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkNarrowing(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNarrowing(pass *Pass, fd *ast.FuncDecl) {
+	// compared holds the textual form of every operand of every
+	// comparison seen so far in this function, in source order; a
+	// conversion whose operand was previously compared is treated as
+	// range-guarded.
+	compared := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op.String() {
+			case "<", "<=", ">", ">=", "==", "!=":
+				compared[types.ExprString(n.X)] = true
+				compared[types.ExprString(n.Y)] = true
+			}
+		case *ast.CallExpr:
+			if len(n.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[n.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || (dst.Kind() != types.Int && dst.Kind() != types.Int32) {
+				return true
+			}
+			arg := n.Args[0]
+			argTV, ok := pass.Info.Types[arg]
+			if !ok {
+				return true
+			}
+			src, ok := argTV.Type.Underlying().(*types.Basic)
+			if !ok || (src.Kind() != types.Int64 && src.Kind() != types.Uint64) {
+				return true
+			}
+			if argTV.Value != nil {
+				return true // constant: the compiler rejects out-of-range values
+			}
+			if compared[types.ExprString(arg)] {
+				return true // bounds-checked above (the toCoord shape)
+			}
+			pass.Reportf(n.Pos(),
+				"unguarded narrowing %s(%s) from %s: bounds-check the value first (e.g. dims.ToCoord) so truncation cannot silently remap a coordinate",
+				tv.Type.String(), types.ExprString(arg), src.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the packages matched by patterns (relative to dir, which
+// must lie inside a Go module) and applies every analyzer to every
+// package. Diagnostics come back sorted by position; an error means
+// the load or an analyzer itself failed, not that findings exist.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(loader, pkgs, analyzers)
+}
+
+// RunPackages applies the analyzers to already-loaded packages —
+// the entry point tests use to drive analyzers over fixtures.
+func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(loader.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				suppress: sup,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full histcube analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AppendBeforeApply,
+		CoordNarrow,
+		ErrWrap,
+		MetricName,
+		MutexGuard,
+		NoFloatEq,
+	}
+}

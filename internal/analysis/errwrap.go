@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-path hygiene the durability subsystem
+// depends on:
+//
+//  1. fmt.Errorf with an error-typed argument must wrap it with %w,
+//     not flatten it with %v/%s — recovery code distinguishes
+//     io.ErrUnexpectedEOF (a torn tail record, expected after a crash)
+//     from real corruption via errors.Is, which only sees through %w.
+//  2. Close/Sync/Flush results may not be silently dropped: on the WAL
+//     path a failed Sync is a lost durability guarantee and a failed
+//     Close can be the first report of a write error. Handle the
+//     error, or discard it explicitly with `_ =` so the decision is
+//     visible in the diff.
+//
+// Test files are not loaded by the driver, so tests remain free to
+// `defer f.Close()` without ceremony.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf wraps error args with %w; Close/Sync/Flush errors are not silently dropped",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedError(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedError(pass, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDroppedError(pass, n.Call, "go ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error argument
+// without a %w verb in the format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.Info.Types[arg]
+		if ok && isErrorType(tv.Type) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf flattens an error argument; use %%w so callers can errors.Is/As through the wrap")
+			return
+		}
+	}
+}
+
+// checkDroppedError flags statements that call Close/Sync/Flush and
+// discard the returned error.
+func checkDroppedError(pass *Pass, call *ast.CallExpr, how string) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := se.Sel.Name
+	if name != "Close" && name != "Sync" && name != "Flush" {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s.%s() silently drops its error: handle it or discard explicitly with _ = (a failed %s can be the first report of a write error)",
+		how, types.ExprString(se.X), name, name)
+}
+
+// constantString evaluates expr to a string constant (literal or named
+// const), if it is one.
+func constantString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

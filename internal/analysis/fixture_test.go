@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"histcube/internal/analysis"
+)
+
+// Fixture convention: each analyzer has a self-contained Go module
+// under testdata/src/<name>/. Lines that must be diagnosed carry a
+// comment containing `want` followed by one or more backquoted
+// regexps; every reported diagnostic must match a want on its line and
+// every want must be hit.
+
+var (
+	wantLineRE = regexp.MustCompile("want ((?:`[^`]+`[ \t]*)+)$")
+	wantPatRE  = regexp.MustCompile("`([^`]+)`")
+)
+
+type wantMark struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, dir string) []*wantMark {
+	t.Helper()
+	var wants []*wantMark
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range wantPatRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(pat[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %w", path, i+1, pat[1], err)
+				}
+				wants = append(wants, &wantMark{file: abs, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, name string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", name)
+	}
+	diags, err := analysis.RunPackages(loader, pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// checkFixture runs one analyzer over its fixture module and compares
+// the diagnostics against the want marks.
+func checkFixture(t *testing.T, a *analysis.Analyzer) {
+	t.Helper()
+	diags := runFixture(t, a.Name, a)
+	wants := parseWants(t, filepath.Join("testdata", "src", a.Name))
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no want marks", a.Name)
+	}
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMutexGuard(t *testing.T)        { checkFixture(t, analysis.MutexGuard) }
+func TestAppendBeforeApply(t *testing.T) { checkFixture(t, analysis.AppendBeforeApply) }
+func TestMetricName(t *testing.T)        { checkFixture(t, analysis.MetricName) }
+func TestCoordNarrow(t *testing.T)       { checkFixture(t, analysis.CoordNarrow) }
+func TestErrWrap(t *testing.T)           { checkFixture(t, analysis.ErrWrap) }
+func TestNoFloatEq(t *testing.T)         { checkFixture(t, analysis.NoFloatEq) }
+
+// TestMalformedDirective checks that an ignore directive without a
+// reason is itself reported, under the pseudo-analyzer "histlint".
+func TestMalformedDirective(t *testing.T) {
+	diags := runFixture(t, "directives")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "histlint" || !strings.Contains(d.Message, "needs an analyzer name and a reason") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeMethod resolves a call expression to the *types.Func of a
+// method call (x.M(...)), or nil when the call is not a resolved
+// method call.
+func calleeMethod(pass *Pass, call *ast.CallExpr) *types.Func {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := pass.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return nil
+	}
+	fn, _ := sel.Obj().(*types.Func)
+	return fn
+}
+
+// calleeFunc resolves a call to pkg.F(...) — a package-level function
+// reached through a package qualifier — or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// baseIdentVar unwraps x in x.f (or x.f.g) to its base identifier and
+// the variable it names; nil when the base is not a plain identifier.
+func baseIdentVar(pass *Pass, expr ast.Expr) (*ast.Ident, *types.Var) {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, _ := pass.Info.Uses[e].(*types.Var)
+			return e, v
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// namedOf strips pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// receiverTypeName returns the *types.TypeName of a method
+// declaration's receiver type, or nil for functions and unresolvable
+// receivers.
+func receiverTypeName(pass *Pass, decl *ast.FuncDecl) *types.TypeName {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr: // generic receiver
+			t = e.X
+		case *ast.Ident:
+			tn, _ := pass.Info.Uses[e].(*types.TypeName)
+			return tn
+		default:
+			return nil
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

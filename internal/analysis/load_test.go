@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"histcube/internal/analysis"
+)
+
+func TestLoaderModuleResolution(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "appendbeforeapply")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "example.com/appendbeforeapply" {
+		t.Fatalf("module path = %q", loader.ModulePath)
+	}
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"example.com/appendbeforeapply/cmd/histserve",
+		"example.com/appendbeforeapply/internal/appendcube",
+		"example.com/appendbeforeapply/internal/core",
+		"example.com/appendbeforeapply/internal/wal",
+	}
+	if len(pkgs) != len(want) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(want))
+	}
+	for i, p := range pkgs {
+		if p.ImportPath != want[i] {
+			t.Errorf("package %d = %s, want %s", i, p.ImportPath, want[i])
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.ImportPath)
+		}
+	}
+}
+
+func TestLoaderSinglePackagePattern(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "appendbeforeapply")
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir, "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "example.com/appendbeforeapply/internal/core" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"histcube/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"example.com/x/internal/core", "internal/core", true},
+		{"histcube/internal/coreext", "internal/core", false},
+		{"histcube/xinternal/core", "internal/core", false},
+	}
+	for _, c := range cases {
+		if got := analysis.PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}

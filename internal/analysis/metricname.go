@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// MetricName enforces the metric naming contract from the
+// observability PR: every metric registered on the obs registry
+// carries a constant snake_case name under the histcube_ or histserve_
+// prefix, and no name is registered from two different sites in a
+// package. Dashboards and the /metrics scrape contract key on these
+// literals; a computed name defeats grep-ability, and a double
+// registration either panics at runtime or silently merges two series.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metrics use constant histcube_/histserve_ snake_case names, registered once",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^(histcube|histserve)(_[a-z0-9]+)+$`)
+
+var metricRegisterMethods = map[string]bool{
+	"NewCounter":     true,
+	"NewGauge":       true,
+	"NewHistogram":   true,
+	"NewCounterFunc": true,
+	"NewGaugeFunc":   true,
+}
+
+func runMetricName(pass *Pass) error {
+	// name -> first registration site, for the duplicate check.
+	sites := make(map[string]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeMethod(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !metricRegisterMethods[fn.Name()] || !PathHasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, isConst := constantString(pass, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %s is not a string constant: names must be grep-able literals (the /metrics scrape contract keys on them)",
+					types.ExprString(call.Args[0]))
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q violates the naming contract: want histcube_/histserve_ prefix and lower snake_case (%s)",
+					name, metricNameRE)
+				return true
+			}
+			pos := pass.Fset.Position(call.Pos())
+			site := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if first, dup := sites[name]; dup {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric %q is registered at two sites (first at %s): double registration panics or merges two series", name, first)
+			} else {
+				sites[name] = site
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoFloatEq flags == and != between floating-point values. Aggregates
+// in the cube are float64 sums; SUM over the same cells in a different
+// order (eager vs lazy cube, tree vs linear scan) produces values that
+// are equal in exact arithmetic but differ in the last ulp, so an
+// equality cross-check that happens to pass today is a latent flaky
+// test. Compare with an epsilon, or with math.Float64bits when
+// bit-exactness is genuinely the contract (codec round-trips) — and in
+// that case say so with a histlint:ignore directive.
+//
+// Exempt: x != x / x == x (the NaN idiom — textually identical
+// operands), and comparisons where both operands are constants (the
+// compiler folds those in exact precision).
+var NoFloatEq = &Analyzer{
+	Name: "nofloateq",
+	Doc:  "no ==/!= on floating-point values (aggregates differ in the last ulp across evaluation orders)",
+	Run:  runNoFloatEq,
+}
+
+func runNoFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded in exact precision
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN idiom
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison: aggregate values differ in the last ulp across evaluation orders; use an epsilon or math.Float64bits",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,3 @@
+module example.com/appendbeforeapply
+
+go 1.22

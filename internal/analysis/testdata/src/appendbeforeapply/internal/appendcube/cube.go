@@ -1,0 +1,14 @@
+// Package appendcube is a stub of the storage layer whose Update is
+// confined to core's apply path.
+package appendcube
+
+type Cube struct {
+	cells []float64
+}
+
+func (c *Cube) Update(i int, v float64) {
+	for len(c.cells) <= i {
+		c.cells = append(c.cells, 0)
+	}
+	c.cells[i] += v
+}

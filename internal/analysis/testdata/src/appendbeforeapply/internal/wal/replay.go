@@ -1,0 +1,14 @@
+// Package wal may replay ops through ApplyOp: recovery re-applies what
+// the log already holds, so re-logging would duplicate records.
+package wal
+
+import "example.com/appendbeforeapply/internal/core"
+
+func Replay(c *core.Cube, ops []core.Op) error {
+	for _, op := range ops {
+		if err := c.ApplyOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

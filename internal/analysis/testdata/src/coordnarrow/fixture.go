@@ -1,0 +1,23 @@
+package coordnarrow
+
+func bad(v int64, u uint64) (int, int32) {
+	a := int(v)   // want `unguarded narrowing int\(v\) from int64`
+	b := int32(u) // want `unguarded narrowing int32\(u\) from uint64`
+	return a, b
+}
+
+func goodGuarded(v int64) int {
+	if v < 0 || v > 1<<31-1 {
+		return 0
+	}
+	return int(v)
+}
+
+func goodConst() int {
+	const k int64 = 42
+	return int(k)
+}
+
+func goodWidening(v int32) int64 { return int64(v) }
+
+func goodSmallSource(v int16) int { return int(v) }

@@ -1,0 +1,3 @@
+module example.com/coordnarrow
+
+go 1.22

@@ -1,0 +1,9 @@
+// Package directives exercises the histlint:ignore directive parser:
+// a directive without a reason is itself a finding, under the
+// pseudo-analyzer "histlint".
+package directives
+
+func noReason() int {
+	//histlint:ignore nofloateq
+	return 0
+}

@@ -1,0 +1,41 @@
+package errwrap
+
+import (
+	"fmt"
+	"os"
+)
+
+func wrapBad(err error) error {
+	return fmt.Errorf("open failed: %v", err) // want `use %w so callers can errors\.Is/As`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("open failed: %w", err)
+}
+
+func wrapNoError(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+func dropBad(f *os.File) {
+	f.Close() // want `f\.Close\(\) silently drops its error`
+}
+
+func dropDeferBad(f *os.File) {
+	defer f.Close() // want `defer f\.Close\(\) silently drops its error`
+}
+
+func dropSyncBad(f *os.File) {
+	f.Sync() // want `f\.Sync\(\) silently drops its error`
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}

@@ -1,0 +1,3 @@
+module example.com/errwrap
+
+go 1.22

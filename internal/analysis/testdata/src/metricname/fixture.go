@@ -1,0 +1,21 @@
+package metricname
+
+import "example.com/metricname/internal/obs"
+
+const namedConstant = "histcube_named_constant_total"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.NewCounter("histcube_requests_total", "ok: literal, well-formed")
+	reg.NewCounter(namedConstant, "ok: named constant still folds to a literal")
+	reg.NewGaugeFunc("histserve_queue_depth", "ok: histserve prefix", func() float64 { return 0 })
+	reg.NewHistogram("histcube_latency_seconds", "ok", nil)
+
+	reg.NewCounter(dynamic, "bad: computed name")                  // want `metric name dynamic is not a string constant`
+	reg.NewCounter("histcube_requests_total"+dynamic, "bad")       // want `is not a string constant`
+	reg.NewGauge("histcube_BadCase", "bad: upper case")            // want `violates the naming contract`
+	reg.NewGauge("cube_missing_prefix", "bad: prefix")             // want `violates the naming contract`
+	reg.NewCounterFunc("histcube_", "bad: bare prefix", count)     // want `violates the naming contract`
+	reg.NewHistogram("histcube_requests_total", "bad: duped", nil) // want `metric "histcube_requests_total" is registered at two sites`
+}
+
+func count() int64 { return 0 }

@@ -1,0 +1,3 @@
+module example.com/metricname
+
+go 1.22

@@ -1,0 +1,34 @@
+package mutexguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `counter\.n is guarded by mu but accessed without holding it in Bad`
+}
+
+func (c *counter) BadAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `counter\.n is guarded by mu but accessed without holding it in BadAfterUnlock`
+}
+
+func (c *counter) BadClosure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The closure may run after BadAfterUnlock's caller released mu,
+	// so the lock held here does not cover it.
+	return func() int {
+		return c.n // want `counter\.n is guarded by mu but accessed without holding it in BadClosure`
+	}
+}
+
+type brokenAnnotation struct {
+	mu sync.Mutex
+	x  int // guarded by missing  want `guarded-by annotation names "missing"`
+}

@@ -1,0 +1,3 @@
+module example.com/mutexguard
+
+go 1.22

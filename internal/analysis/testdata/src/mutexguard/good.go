@@ -1,0 +1,49 @@
+package mutexguard
+
+import "sync"
+
+type store struct {
+	mu    sync.RWMutex
+	cells []float64 // guarded by mu
+	name  string    // unguarded: set once before the store is shared
+}
+
+func (s *store) Get(i int) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cells[i]
+}
+
+func (s *store) Set(i int, v float64) {
+	s.mu.Lock()
+	s.cells[i] = v
+	s.mu.Unlock()
+}
+
+// sumLocked's contract is that the caller holds mu.
+func (s *store) sumLocked() float64 {
+	var t float64
+	for _, v := range s.cells {
+		t += v
+	}
+	return t
+}
+
+func (s *store) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sumLocked()
+}
+
+func (s *store) Name() string { return s.name }
+
+func (s *store) LockedClosure() float64 {
+	var v float64
+	f := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		v = s.cells[0]
+	}
+	f()
+	return v
+}

@@ -1,0 +1,38 @@
+package nofloateq
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func bad32(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badZero(sum float64) bool {
+	return sum == 0 // want `floating-point == comparison`
+}
+
+func goodNaNIdiom(a float64) bool {
+	return a != a
+}
+
+func goodConstFold() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.3
+}
+
+func goodEpsilon(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func goodInts(a, b int) bool { return a == b }
+
+func suppressed(sentinel float64) bool {
+	//histlint:ignore nofloateq zero is a sentinel in this fixture, not an arithmetic result
+	return sentinel == 0
+}

@@ -1,0 +1,3 @@
+module example.com/nofloateq
+
+go 1.22

@@ -240,6 +240,7 @@ func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, erro
 		if n > 0 {
 			// Fold the closing slice's update count into the density
 			// estimate the adaptive copy-ahead budget tracks.
+			//histlint:ignore nofloateq zero is the "no estimate yet" sentinel; the estimate itself is never exactly zero once seeded
 			if c.estPerSlice == 0 {
 				c.estPerSlice = float64(c.sliceUpds)
 			} else {

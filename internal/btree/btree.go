@@ -306,6 +306,7 @@ func (n *node) check(order int, isRoot bool) (float64, int, error) {
 		for _, v := range n.vals {
 			sum += v
 		}
+		//histlint:ignore nofloateq invariant check recomputes the stored sum over the same values in the same order, so exact equality is the invariant
 		if sum != n.sum {
 			return 0, 0, fmt.Errorf("btree: leaf sum %v != stored %v", sum, n.sum)
 		}
@@ -324,6 +325,7 @@ func (n *node) check(order int, isRoot bool) (float64, int, error) {
 		sum += s
 		count += c
 	}
+	//histlint:ignore nofloateq invariant check recomputes the stored sum over the same values in the same order, so exact equality is the invariant
 	if sum != n.sum {
 		return 0, 0, fmt.Errorf("btree: internal sum %v != stored %v", sum, n.sum)
 	}

@@ -12,6 +12,7 @@ package dims
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Shape describes the domain sizes of a d-dimensional array. Shape[i]
@@ -271,4 +272,17 @@ func CrossProduct(sets [][]int, fn func(combo []int)) {
 			return
 		}
 	}
+}
+
+// ToCoord narrows an int64 (the type coordinates travel as on the
+// wire, in WAL records and in workload streams) to an in-memory cell
+// coordinate. Coordinates are bounded to int32 range — every real
+// dimension is far smaller — so the explicit check keeps a plain
+// int(...) conversion from silently truncating, and possibly wrapping
+// back into the valid domain, on 32-bit platforms.
+func ToCoord(v int64) (int, bool) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, false
+	}
+	return int(v), true
 }

@@ -88,6 +88,7 @@ func OutOfOrderSweep(scale float64, percents []float64, nQueries int, seed int64
 				return nil, err
 			}
 			treeLeaves += tree.Tree().LeafReads - before
+			//histlint:ignore nofloateq cross-check oracle: list and tree sum the identical buffered updates, so exact agreement is the contract
 			if lv != tv {
 				return nil, fmt.Errorf("experiments: G_d structures disagree: list %v, tree %v", lv, tv)
 			}
@@ -95,6 +96,7 @@ func OutOfOrderSweep(scale float64, percents []float64, nQueries int, seed int64
 			// the naive replay of the redirected stream (spot-checked
 			// to keep the sweep fast).
 			if qi%25 == 0 {
+				//histlint:ignore nofloateq exactness oracle against naive replay of the same update stream; a ulp difference here would be a real bug
 				if want := naiveBoxCheck(applied, q.TimeLo, q.TimeHi, q.Box); base+lv != want {
 					return nil, fmt.Errorf("experiments: ooo query inexact at %.0f%%: got %v, want %v", pct, base+lv, want)
 				}

@@ -28,7 +28,7 @@ func NewGd(pointDims int) (*Gd, error) {
 // Insert buffers the d-dimensional point (t, x) with measure delta.
 func (g *Gd) Insert(t int64, x []int, delta float64) {
 	coords := make([]int, 0, len(x)+1)
-	coords = append(coords, int(t))
+	coords = append(coords, clampToInt(t))
 	coords = append(coords, x...)
 	if err := g.t.Insert(Entry{Coords: coords, Value: delta}); err != nil {
 		panic(fmt.Sprintf("rstar: Gd insert: %v", err))

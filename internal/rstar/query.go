@@ -115,6 +115,7 @@ func (t *Tree) Delete(coords []int, value float64) bool {
 func (t *Tree) deleteRec(n *node, coords []int, value float64, orphans *[]Entry) bool {
 	if n.leaf {
 		for i, e := range n.entries {
+			//histlint:ignore nofloateq delete matches the identical stored entry bit-for-bit (identity, not arithmetic)
 			if e.Value == value && equalCoords(e.Coords, coords) {
 				n.entries = append(n.entries[:i], n.entries[i+1:]...)
 				n.recompute()

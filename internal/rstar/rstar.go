@@ -82,6 +82,7 @@ func New(cfg Config) (*Tree, error) {
 		max = 64
 	}
 	minFill := cfg.MinFill
+	//histlint:ignore nofloateq zero is the config's explicit "use the default" sentinel, not an arithmetic result
 	if minFill == 0 {
 		minFill = 0.4
 	}
@@ -90,6 +91,7 @@ func New(cfg Config) (*Tree, error) {
 		min = 2
 	}
 	rf := cfg.ReinsertFrac
+	//histlint:ignore nofloateq zero is the config's explicit "use the default" sentinel, not an arithmetic result
 	if rf == 0 {
 		rf = 0.3
 	}
@@ -232,8 +234,10 @@ func (n *node) chooseSubtree(r rect) *node {
 		switch {
 		case best == nil:
 			better = true
+		//histlint:ignore nofloateq R* tie-break heuristic: a ulp difference only shifts which equally-good subtree wins, never correctness
 		case childrenAreLeaves && ov != bestOverlap:
 			better = ov < bestOverlap
+		//histlint:ignore nofloateq R* tie-break heuristic: a ulp difference only shifts which equally-good subtree wins, never correctness
 		case enl != bestEnl:
 			better = enl < bestEnl
 		default:
@@ -415,6 +419,7 @@ func (t *Tree) splitNode(n *node) *node {
 		}
 		ov := left.overlap(right)
 		area := left.area() + right.area()
+		//histlint:ignore nofloateq split tie-break heuristic: exact equality only selects the secondary criterion, correctness is unaffected
 		if bestK < 0 || ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
 			bestK, bestOverlap, bestArea = k, ov, area
 		}

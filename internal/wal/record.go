@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"histcube/internal/core"
+	"histcube/internal/dims"
 )
 
 // On-disk layout.
@@ -95,7 +96,14 @@ func decodePayload(p []byte) (core.Op, error) {
 	op.Coords = make([]int, n)
 	off := 11
 	for i := range op.Coords {
-		op.Coords[i] = int(int64(binary.LittleEndian.Uint64(p[off:])))
+		c, ok := dims.ToCoord(int64(binary.LittleEndian.Uint64(p[off:])))
+		if !ok {
+			// No valid append ever wrote such a value, so treat it as
+			// corruption: readSegment turns the decode error into a
+			// torn-tail truncation instead of remapping the coordinate.
+			return core.Op{}, fmt.Errorf("wal: coordinate %d of record overflows the coordinate range", i)
+		}
+		op.Coords[i] = c
 		off += 8
 	}
 	op.Value = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))

@@ -57,7 +57,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 			continue
 		}
 		c, lerr := core.Load(f)
-		f.Close()
+		_ = f.Close() // read-only; core.Load already validated what was read
 		if lerr != nil {
 			res.CheckpointsSkipped++
 			continue

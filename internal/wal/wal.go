@@ -123,16 +123,16 @@ type Log struct {
 	opts Options
 
 	mu        sync.Mutex
-	f         *os.File // active segment
-	segFirst  uint64   // first LSN of the active segment
-	segBytes  int64    // bytes written to the active segment
-	segCount  int      // segment files on disk, including the active one
-	nextLSN   uint64
-	dirty     bool // unsynced appends
-	sinceCkpt int64
-	ckptLSN   uint64
-	closed    bool
-	buf       []byte // encode scratch
+	f         *os.File // active segment; guarded by mu
+	segFirst  uint64   // first LSN of the active segment; guarded by mu
+	segBytes  int64    // bytes written to the active segment; guarded by mu
+	segCount  int      // segment files on disk, including the active one; guarded by mu
+	nextLSN   uint64   // guarded by mu
+	dirty     bool     // unsynced appends; guarded by mu
+	sinceCkpt int64    // guarded by mu
+	ckptLSN   uint64   // guarded by mu
+	closed    bool     // guarded by mu
+	buf       []byte   // encode scratch; guarded by mu
 
 	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
 
@@ -205,15 +205,15 @@ func createSegment(dir string, first uint64) (*os.File, error) {
 		return nil, err
 	}
 	if _, err := f.Write(encodeSegHeader(first)); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is primary; the file is discarded
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := syncDir(dir); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return f, nil
@@ -236,7 +236,7 @@ func (l *Log) startSyncLoop() {
 			case <-l.stop:
 				return
 			case <-t.C:
-				l.Sync() // best effort; Append surfaces hard errors
+				_ = l.Sync() // best effort; Append surfaces hard errors
 			}
 		}
 	}()

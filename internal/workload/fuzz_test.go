@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVWorkload drives ReadCSV with arbitrary text: it must reject
+// malformed input with an error (never panic), and any dataset it
+// accepts must survive a WriteCSV/ReadCSV round-trip unchanged — the
+// property cmd/histgen's output format depends on.
+func FuzzCSVWorkload(f *testing.F) {
+	ds := Generate(Gauss3Spec.Scaled(0.001))
+	if len(ds.Updates) > 64 {
+		ds.Updates = ds.Updates[:64] // realistic header and rows, cheap fuzz execs
+	}
+	var sb strings.Builder
+	if err := ds.WriteCSV(&sb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add("# name=tiny slice=2x2 time=4\n0,0,1,2.5\n3,1,0,-1\n")
+	f.Add("# name=tiny slice=2x2 time=4\n0,0,1,NaN\n")
+	f.Add("# name=bad slice=2x time=4\n")
+	f.Add("no header at all")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := ds.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted dataset does not write: %v", err)
+		}
+		ds2, err := ReadCSV(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("written dataset does not re-read: %v\n%s", err, out.String())
+		}
+		if ds.Name != ds2.Name || ds.TimeSize != ds2.TimeSize || len(ds.SliceShape) != len(ds2.SliceShape) ||
+			len(ds.Updates) != len(ds2.Updates) {
+			t.Fatalf("round-trip changed the dataset header:\n  first  %v %v %d updates\n  second %v %v %d updates",
+				ds.Name, ds.SliceShape, len(ds.Updates), ds2.Name, ds2.SliceShape, len(ds2.Updates))
+		}
+		for i := range ds.SliceShape {
+			if ds.SliceShape[i] != ds2.SliceShape[i] {
+				t.Fatalf("round-trip changed the shape: %v vs %v", ds.SliceShape, ds2.SliceShape)
+			}
+		}
+		for i := range ds.Updates {
+			a, b := ds.Updates[i], ds2.Updates[i]
+			if a.Time != b.Time || math.Float64bits(a.Delta) != math.Float64bits(b.Delta) {
+				t.Fatalf("round-trip changed update %d: %+v vs %+v", i, a, b)
+			}
+			for j := range a.Coords {
+				if a.Coords[j] != b.Coords[j] {
+					t.Fatalf("round-trip changed update %d coords: %v vs %v", i, a.Coords, b.Coords)
+				}
+			}
+		}
+	})
+}

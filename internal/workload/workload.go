@@ -57,17 +57,21 @@ func (d *Dataset) NonEmpty() int {
 	key := make([]byte, 0, 32)
 	for _, u := range d.Updates {
 		key = key[:0]
-		key = appendInt(key, int(u.Time))
+		key = appendInt(key, u.Time)
 		for _, c := range u.Coords {
-			key = appendInt(key, c)
+			key = appendInt(key, int64(c))
 		}
 		seen[string(key)] = struct{}{}
 	}
 	return len(seen)
 }
 
-func appendInt(b []byte, v int) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+// appendInt encodes the full 64-bit value: widening is always exact,
+// where the old 32-bit truncation could alias two distinct cells.
+func appendInt(b []byte, v int64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56), ',')
 }
 
 // Density returns NonEmpty / TotalCells.
@@ -172,6 +176,7 @@ func Generate(s Spec) *Dataset {
 	r := rand.New(rand.NewSource(s.Seed))
 	d := len(s.SliceShape)
 	sigFrac := s.ClusterSigmaFrac
+	//histlint:ignore nofloateq zero is the spec's explicit "use the default" sentinel, not an arithmetic result
 	if sigFrac == 0 {
 		sigFrac = 0.05
 	}
