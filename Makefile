@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench fmt crash lint fuzz
+.PHONY: check build test race bench fmt crash lint fuzz explain traceguard
 
 check:
 	./check.sh
@@ -26,6 +26,12 @@ bench:
 
 crash:
 	go test -race -count=1 -v -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
+
+explain:
+	go test -race -count=1 -v -run TestExplainSmokeRealBinary ./cmd/histserve/
+
+traceguard:
+	go test -count=1 -v -run TestDisabledTracerOverhead ./internal/trace/
 
 fmt:
 	gofmt -w .

@@ -36,4 +36,13 @@ echo "== crash-injection durability test =="
 # regression is impossible to miss in the gate output.
 go test -race -count=1 -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
 
+echo "== disabled-tracer overhead guard (<= 5 ns/op) =="
+# Without -race on purpose: the guard benchmarks the nil-span hot path
+# and race instrumentation distorts timings (the test self-skips under
+# -race, so the suite above does not cover it).
+go test -count=1 -run TestDisabledTracerOverhead ./internal/trace/
+
+echo "== EXPLAIN smoke (real binary) =="
+go test -race -count=1 -run TestExplainSmokeRealBinary ./cmd/histserve/
+
 echo "== ok =="

@@ -16,6 +16,11 @@
 //	-json path  write a machine-readable report (p50/p90/p99/mean per
 //	            cost curve, plus wall-clock seconds per experiment) to
 //	            path, or to stdout with "-"
+//	-trace      additionally run the traced per-query cost experiment:
+//	            drives the core facade with a span per query and emits
+//	            one JSON record per query (duration plus the span's
+//	            cells_touched/conversions/instances counters) next to
+//	            the closed-form DDC and PS bounds
 //
 // Costs are cell accesses (in-memory experiments) or page accesses
 // (disk experiments), the paper's hardware-independent metric; the
@@ -43,6 +48,7 @@ func main() {
 		series  = flag.Bool("series", false, "print full per-point series as CSV")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		jsonOut = flag.String("json", "", "write a machine-readable JSON report to this path (\"-\" = stdout)")
+		traced  = flag.Bool("trace", false, "run the traced per-query cost experiment: one JSON record per query (span counters vs the closed-form DDC/PS bounds)")
 	)
 	flag.Parse()
 
@@ -235,7 +241,45 @@ func main() {
 		return map[string]any{"scale": sc, "queries": n, "rows": rows}, nil
 	})
 
-	if *exp != "all" && !strings.Contains("table3 fig10 fig11 fig12 fig13 table4 fig14 ooo", *exp) {
+	if *traced {
+		run("trace", func() (any, error) {
+			n := nq(48)
+			res, err := experiments.TracedQueryCost(16, 2, n, true, *seed)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("Traced per-query cost via the core facade (n=%d, %d non-time dims, identical historic query, %d repeats)\n",
+				res.N, res.Dims, res.Queries)
+			fmt.Printf("bounds: ddc=(2 log2 n)^d=%.0f cells, ps=2^d=%.0f cells\n", res.DDCBound, res.PSBound)
+			enc := json.NewEncoder(os.Stdout)
+			for _, rec := range res.Records {
+				if err := enc.Encode(rec); err != nil {
+					return nil, err
+				}
+			}
+			first := res.Records[0]
+			last := res.Records[len(res.Records)-1]
+			fmt.Printf("first query: %d cells, %d conversions; last: %d cells, %d conversions\n",
+				first.CellsTouched, first.Conversions, last.CellsTouched, last.Conversions)
+			fmt.Println("paper shape (Figs. 10/11): identical queries converge from the DDC regime to the constant PS bound")
+			cells := make([]float64, len(res.Records))
+			for i, rec := range res.Records {
+				cells[i] = float64(rec.CellsTouched)
+			}
+			return map[string]any{
+				"n":          res.N,
+				"dims":       res.Dims,
+				"queries":    res.Queries,
+				"ddc_bound":  res.DDCBound,
+				"ps_bound":   res.PSBound,
+				"first":      first,
+				"last":       last,
+				"cells_cost": obs.Summarize(cells),
+			}, nil
+		})
+	}
+
+	if *exp != "all" && !strings.Contains("table3 fig10 fig11 fig12 fig13 table4 fig14 ooo trace", *exp) {
 		fmt.Fprintf(os.Stderr, "histbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

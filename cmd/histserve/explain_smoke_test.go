@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var metricsRE = regexp.MustCompile(`msg="metrics listening" addr=([^ ]+)`)
+
+// sendLines sends one request over the raw test connection and reads
+// lines until the END terminator (or a single ERR/OK line).
+func sendLines(t *testing.T, c *tcpConn, req string) []string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.w, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for {
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp = strings.TrimRight(resp, "\n")
+		if resp == "END" {
+			return lines
+		}
+		lines = append(lines, resp)
+		if resp == "OK" || strings.HasPrefix(resp, "ERR") {
+			return lines
+		}
+	}
+}
+
+// TestExplainSmokeRealBinary is the end-to-end smoke for the tracing
+// surface: a real histserve binary answers EXPLAIN with a span tree,
+// SLOWLOG with retained traces, and serves /readyz, /debug/slowlog
+// and /debug/pprof on the metrics listener. Run by check.sh and CI;
+// skipped under -short.
+func TestExplainSmokeRealBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-binary smoke test skipped in -short mode")
+	}
+	bin := buildHistserve(t)
+	p := startHistserve(t, bin, "-dims", "8,8",
+		"-metrics", "127.0.0.1:0", "-slow-query-threshold", "0s", "-slowlog-size", "4")
+	defer func() {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+		if out, err := p.waitExit(t, 15*time.Second); err != nil {
+			t.Errorf("shutdown: %v\n%s", err, out)
+		}
+	}()
+	var metricsAddr string
+	for _, line := range p.stderr {
+		if m := metricsRE.FindStringSubmatch(line); m != nil {
+			metricsAddr = m[1]
+		}
+	}
+	if metricsAddr == "" {
+		t.Fatalf("no metrics listen address in stderr:\n%s", strings.Join(p.stderr, "\n"))
+	}
+
+	c := dialTCP(t, p.addr)
+	for _, ins := range []string{"INS 1 1 1 5", "INS 2 2 2 7"} {
+		if got := sendLines(t, c, ins); len(got) != 1 || got[0] != "OK" {
+			t.Fatalf("%s -> %v", ins, got)
+		}
+	}
+	lines := sendLines(t, c, "EXPLAIN QRY 1 1 0 0 7 7")
+	if lines[0] != "OK result=5" {
+		t.Fatalf("EXPLAIN first line = %q", lines[0])
+	}
+	tree := strings.Join(lines, "\n")
+	for _, want := range []string{"histserve.query", "histcube.query", "histcube.prefix", "totals ", "cells_touched="} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("EXPLAIN reply missing %q:\n%s", want, tree)
+		}
+	}
+	slow := sendLines(t, c, "SLOWLOG")
+	if !strings.HasPrefix(slow[0], "OK n=1 cap=4 threshold=0s") {
+		t.Fatalf("SLOWLOG header = %q", slow[0])
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/readyz -> %d %q (the serving binary must be ready)", code, body)
+	}
+	if code, body := get("/debug/slowlog"); code != http.StatusOK ||
+		!strings.Contains(body, `"histserve.query"`) {
+		t.Errorf("/debug/slowlog -> %d, missing the query trace:\n%.300s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ -> %d", code)
+	}
+}

@@ -7,19 +7,29 @@
 //
 //	histserve -addr :7070 -dims 16,16 -op sum [-ooo] [-metrics :9090]
 //
-// Protocol (one request per line, one response per line):
+// Protocol (one request per line, one response per line unless noted):
 //
 //	INS <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
 //	DEL <time> <c1> ... <cd> <value>   -> OK | ERR <msg>
 //	QRY <tlo> <thi> <l1> ... <ld> <u1> ... <ud> -> <number> | ERR <msg>
+//	EXPLAIN QRY <args>                 -> OK result=<number>, span tree,
+//	                                      totals line, END | ERR <msg>
+//	SLOWLOG                            -> OK n=<n> ..., one line per
+//	                                      retained trace, END
 //	STATS                              -> slices=<n> incomplete=<n> pending=<n> appended=<n> ...
 //	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
 //	CHECKPOINT                         -> OK <lsn> | ERR <msg> (durable mode only)
 //	QUIT                               -> BYE (closes the connection)
 //
 // STATS carries the full counter set (see README's Observability
-// section): out-of-order totals, eCube conversion progress, lazy-copy
-// work, tier demotions and access counts.
+// section): out-of-order totals, eCube conversion progress (split by
+// query/append trigger), lazy-copy work, tier demotions and access
+// counts.
+//
+// Every request is traced (internal/trace): EXPLAIN renders the span
+// tree with the paper's per-query cost counters, SLOWLOG returns the
+// worst traces at or above -slow-query-threshold (bounded by
+// -slowlog-size), and the metrics listener serves them as JSON.
 //
 // Start with -load <path> to resume from a snapshot written by SAVE
 // (the -dims and -op flags must match the snapshot's configuration).
@@ -36,16 +46,23 @@
 //
 // With -metrics the server additionally serves a Prometheus-style
 // endpoint: GET /metrics renders every histcube_* and histserve_*
-// metric in text exposition format, GET /healthz answers "ok".
+// metric in text exposition format, GET /healthz answers "ok"
+// (liveness), GET /readyz answers "ok" only once WAL recovery has
+// finished (readiness — 503 while replaying). The same listener
+// serves GET /debug/slowlog and /debug/trace/recent (retained traces
+// as JSON) and the standard /debug/pprof/* profiling endpoints.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -53,18 +70,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"histcube/internal/agg"
 	"histcube/internal/core"
 	"histcube/internal/dims"
 	"histcube/internal/obs"
+	"histcube/internal/trace"
 	"histcube/internal/wal"
 )
 
 // commands lists every protocol verb, used to pre-register one
 // labelled request/error counter per command ("other" catches unknown
 // verbs so a misbehaving client cannot grow the label set unbounded).
-var commands = []string{"INS", "DEL", "QRY", "STATS", "SAVE", "CHECKPOINT", "QUIT", "other"}
+var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "SAVE", "CHECKPOINT", "QUIT", "other"}
 
 // server is one histserve instance.
 //
@@ -91,6 +110,18 @@ type server struct {
 	wal             *wal.Log // guarded by mu
 	checkpointEvery int64    // guarded by mu
 
+	// slow retains the worst query traces at or above its threshold;
+	// recent is a ring of the last finished request traces regardless of
+	// duration. Both carry their own locks, so they are deliberately
+	// outside the mu contract — Observe/Add run after mu is released.
+	slow   *trace.SlowLog
+	recent *trace.Ring
+
+	// ready flips to true once startup (snapshot load, WAL recovery) has
+	// finished; /readyz answers 503 until then while /healthz stays a
+	// pure liveness probe.
+	ready atomic.Bool
+
 	connSeq     atomic.Int64
 	connections *obs.Gauge
 	connTotal   *obs.Counter
@@ -110,6 +141,8 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty disables durability")
 		fsync   = flag.String("fsync", "always", "WAL fsync policy: always, interval, never (with -data-dir)")
 		ckptN   = flag.Int64("checkpoint-every", 10000, "checkpoint every N WAL records; 0 = only on CHECKPOINT/shutdown (with -data-dir)")
+		slowThr = flag.Duration("slow-query-threshold", 10*time.Millisecond, "queries at or above this duration enter the slow-query log")
+		slowCap = flag.Int("slowlog-size", 32, "worst traces retained by the slow-query log")
 	)
 	flag.Parse()
 
@@ -120,9 +153,21 @@ func main() {
 		os.Exit(1)
 	}
 	srv.log = logger
+	srv.slow = trace.NewSlowLog(*slowCap, *slowThr)
 	if *load != "" && *dataDir != "" {
 		logger.Error("-load and -data-dir are mutually exclusive (the data directory has its own checkpoints)")
 		os.Exit(1)
+	}
+	// The debug/metrics listener comes up before recovery so operators
+	// can watch a long WAL replay: /healthz (liveness) answers during
+	// it, /readyz answers 503 until markReady below.
+	if *metrics != "" {
+		mln, err := srv.serveMetrics(*metrics)
+		if err != nil {
+			logger.Error("metrics listener failed", "addr", *metrics, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("metrics listening", "addr", mln.Addr().String())
 	}
 	if *load != "" {
 		if err := srv.loadSnapshot(*load); err != nil {
@@ -148,14 +193,7 @@ func main() {
 			"skipped_ops", res.SkippedOps, "torn_tail", res.TornTail,
 			"checkpoints_skipped", res.CheckpointsSkipped)
 	}
-	if *metrics != "" {
-		mln, err := srv.serveMetrics(*metrics)
-		if err != nil {
-			logger.Error("metrics listener failed", "addr", *metrics, "err", err)
-			os.Exit(1)
-		}
-		logger.Info("metrics listening", "addr", mln.Addr().String())
-	}
+	srv.markReady()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen failed", "addr", *addr, "err", err)
@@ -287,10 +325,12 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 		return nil, err
 	}
 	s := &server{
-		cube: cube,
-		dims: len(ds),
-		reg:  obs.NewRegistry(),
-		log:  slog.Default(),
+		cube:   cube,
+		dims:   len(ds),
+		reg:    obs.NewRegistry(),
+		log:    slog.Default(),
+		slow:   trace.NewSlowLog(32, 10*time.Millisecond),
+		recent: trace.NewRing(64),
 	}
 	s.ins = core.NewInstruments(s.reg)
 	cube.SetInstruments(s.ins)
@@ -330,6 +370,35 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness is distinct from liveness: during WAL replay the
+	// process is alive but must not receive traffic yet.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		writeEntriesJSON(w, s.log, map[string]any{
+			"threshold_ns": s.slow.Threshold().Nanoseconds(),
+			"capacity":     s.slow.Cap(),
+			"observed":     s.slow.Observed(),
+			"admitted":     s.slow.Admitted(),
+		}, s.slow.Entries())
+	})
+	mux.HandleFunc("/debug/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		writeEntriesJSON(w, s.log, map[string]any{
+			"capacity": s.recent.Cap(),
+		}, s.recent.Entries())
+	})
+	// pprof normally registers on http.DefaultServeMux at import; this
+	// listener uses its own mux, so the handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
 		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
 			s.log.Error("metrics server stopped", "err", err)
@@ -413,10 +482,12 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		st := s.cube.Stats()
 		s.mu.Unlock()
 		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
-			"ooo=%d conversions=%d cells_touched=%d forced_copies=%d copy_ahead=%d "+
+			"ooo=%d conversions=%d conversions_query=%d conversions_append=%d "+
+			"cells_touched=%d forced_copies=%d copy_ahead=%d "+
 			"demoted=%d cache_accesses=%d store_accesses=%d",
 			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates,
-			st.OutOfOrderUpdates, st.ECubeConversions, st.ECubeCellsTouched,
+			st.OutOfOrderUpdates, st.ECubeConversions, st.ECubeConversionsQuery,
+			st.ECubeConversionsAppend, st.ECubeCellsTouched,
 			st.ForcedCopies, st.CopyAheadWork,
 			st.TierDemotions, st.CacheAccesses, st.StoreAccesses), false
 	case "SAVE":
@@ -453,49 +524,163 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			}
 			coords[i] = c
 		}
-		s.mu.Lock()
+		// One root span per mutation; the WAL-bytes delta is taken
+		// under mu, where the op sink's appends are serialised, so the
+		// attribution to this request is exact.
+		var root *trace.Span
 		if cmd == "INS" {
-			err = s.cube.Insert(nums[0], coords, val)
+			root = trace.New("histserve.insert")
 		} else {
-			err = s.cube.Delete(nums[0], coords, val)
+			root = trace.New("histserve.delete")
+		}
+		ctx := trace.NewContext(context.Background(), root)
+		s.mu.Lock()
+		var walBefore int64
+		if s.wal != nil {
+			walBefore = s.wal.AppendedBytes()
+		}
+		if cmd == "INS" {
+			err = s.cube.InsertCtx(ctx, nums[0], coords, val)
+		} else {
+			err = s.cube.DeleteCtx(ctx, nums[0], coords, val)
+		}
+		if s.wal != nil {
+			root.Add(trace.WALBytes, s.wal.AppendedBytes()-walBefore)
 		}
 		if err == nil {
 			s.maybeCheckpointLocked()
 		}
 		s.mu.Unlock()
+		root.End()
+		s.observe(line, root)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return "OK", false
 	case "QRY":
-		// QRY <tlo> <thi> <l1>..<ld> <u1>..<ud>
-		if len(fields) != 1+2+2*s.dims {
-			return fmt.Sprintf("ERR QRY needs tlo, thi and %d lo + %d hi coordinates", s.dims, s.dims), false
+		rng, errResp := s.parseQueryRange(fields[1:])
+		if errResp != "" {
+			return errResp, false
 		}
-		nums, err := parseInts(fields[1:])
-		if err != nil {
-			return "ERR " + err.Error(), false
-		}
-		lo := make([]int, s.dims)
-		hi := make([]int, s.dims)
-		for i := 0; i < s.dims; i++ {
-			l, okl := dims.ToCoord(nums[2+i])
-			h, okh := dims.ToCoord(nums[2+s.dims+i])
-			if !okl || !okh {
-				return "ERR coordinate overflows", false
-			}
-			lo[i] = l
-			hi[i] = h
-		}
-		s.mu.Lock()
-		v, err := s.cube.Query(core.Range{TimeLo: nums[0], TimeHi: nums[1], Lo: lo, Hi: hi})
-		s.mu.Unlock()
+		v, _, err := s.runQuery(line, rng)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return strconv.FormatFloat(v, 'g', -1, 64), false
+	case "EXPLAIN":
+		if len(fields) < 2 || strings.ToUpper(fields[1]) != "QRY" {
+			return "ERR EXPLAIN wraps a query: EXPLAIN QRY <tlo> <thi> <lo...> <hi...>", false
+		}
+		rng, errResp := s.parseQueryRange(fields[2:])
+		if errResp != "" {
+			return errResp, false
+		}
+		v, root, err := s.runQuery(line, rng)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK result=%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+		root.Render(&b)
+		b.WriteString("totals")
+		for c := trace.Counter(0); c < trace.NumCounters; c++ {
+			fmt.Fprintf(&b, " %s=%d", c, root.Total(c))
+		}
+		b.WriteString("\nEND")
+		return b.String(), false
+	case "SLOWLOG":
+		if len(fields) != 1 {
+			return "ERR SLOWLOG takes no arguments", false
+		}
+		entries := s.slow.Entries()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK n=%d cap=%d threshold=%s observed=%d admitted=%d\n",
+			len(entries), s.slow.Cap(), s.slow.Threshold(),
+			s.slow.Observed(), s.slow.Admitted())
+		for i, e := range entries {
+			fmt.Fprintf(&b, "#%d dur=%s at=%s cells_touched=%d conversions=%d line=%q\n",
+				i+1, e.Duration, e.At.UTC().Format(time.RFC3339Nano),
+				e.Span.Total(trace.CellsTouched), e.Span.Total(trace.Conversions), e.Line)
+		}
+		b.WriteString("END")
+		return b.String(), false
 	default:
 		return "ERR unknown command " + cmd, false
+	}
+}
+
+// parseQueryRange parses the arguments of a QRY (after the verb):
+// <tlo> <thi> <l1>..<ld> <u1>..<ud>. The second result is a non-empty
+// ERR response on failure.
+func (s *server) parseQueryRange(args []string) (core.Range, string) {
+	if len(args) != 2+2*s.dims {
+		return core.Range{}, fmt.Sprintf("ERR QRY needs tlo, thi and %d lo + %d hi coordinates", s.dims, s.dims)
+	}
+	nums, err := parseInts(args)
+	if err != nil {
+		return core.Range{}, "ERR " + err.Error()
+	}
+	lo := make([]int, s.dims)
+	hi := make([]int, s.dims)
+	for i := 0; i < s.dims; i++ {
+		l, okl := dims.ToCoord(nums[2+i])
+		h, okh := dims.ToCoord(nums[2+s.dims+i])
+		if !okl || !okh {
+			return core.Range{}, "ERR coordinate overflows"
+		}
+		lo[i] = l
+		hi[i] = h
+	}
+	return core.Range{TimeLo: nums[0], TimeHi: nums[1], Lo: lo, Hi: hi}, ""
+}
+
+// runQuery executes one traced range query (shared by QRY and
+// EXPLAIN) and retains the finished trace.
+func (s *server) runQuery(line string, rng core.Range) (float64, *trace.Span, error) {
+	root := trace.New("histserve.query")
+	s.mu.Lock()
+	v, err := s.cube.QueryTraced(root, rng)
+	s.mu.Unlock()
+	root.End()
+	s.observe(line, root)
+	return v, root, err
+}
+
+// observe retains one finished request trace: every request enters
+// the recent ring; queries are additionally offered to the slow log.
+func (s *server) observe(line string, root *trace.Span) {
+	at := time.Now()
+	d := root.Duration()
+	s.recent.Add(line, at, d, root)
+	if root.Name() == "histserve.query" {
+		s.slow.Observe(line, at, d, root)
+	}
+}
+
+// markReady flips /readyz to 200: startup (snapshot load, WAL
+// recovery) has finished and the server is about to accept traffic.
+func (s *server) markReady() { s.ready.Store(true) }
+
+// writeEntriesJSON renders retained traces as a JSON document: the
+// meta fields plus an "entries" array of {line, at, duration_ns,
+// trace} objects.
+func writeEntriesJSON(w http.ResponseWriter, log *slog.Logger, meta map[string]any, entries []trace.Entry) {
+	type entryJSON struct {
+		Line       string          `json:"line"`
+		At         time.Time       `json:"at"`
+		DurationNS int64           `json:"duration_ns"`
+		Trace      *trace.SpanJSON `json:"trace"`
+	}
+	out := make([]entryJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, entryJSON{Line: e.Line, At: e.At, DurationNS: int64(e.Duration), Trace: e.Span.JSON()})
+	}
+	meta["entries"] = out
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		log.Error("trace JSON render failed", "err", err)
 	}
 }
 

@@ -230,7 +230,8 @@ func TestStatsExtended(t *testing.T) {
 		t.Fatalf("STATS prefix changed: %q", got)
 	}
 	for _, field := range []string{
-		"appended=2", "ooo=0", "conversions=", "cells_touched=",
+		"appended=2", "ooo=0", "conversions=", "conversions_query=",
+		"conversions_append=0", "cells_touched=",
 		"forced_copies=", "copy_ahead=", "demoted=0",
 		"cache_accesses=", "store_accesses=",
 	} {
@@ -238,10 +239,14 @@ func TestStatsExtended(t *testing.T) {
 			t.Errorf("STATS missing %q: %q", field, got)
 		}
 	}
-	// The historic query must have converted at least one cell, and
-	// STATS must report it.
+	// The historic query must have converted at least one cell, STATS
+	// must report it, and the trigger split must attribute it to the
+	// query leg (appends never run the eCube algorithm).
 	if strings.Contains(got, "conversions=0 ") {
 		t.Errorf("historic query reported zero conversions: %q", got)
+	}
+	if strings.Contains(got, "conversions_query=0 ") {
+		t.Errorf("conversions not attributed to the query trigger: %q", got)
 	}
 }
 
@@ -287,13 +292,19 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("INS -> %q", got)
 		}
 	}
-	conversions := func(body string) (v int64) {
+	// The conversions counter is split by trigger label; sum the legs
+	// for the monotonic total and keep the query leg for attribution.
+	conversionsBy := func(body, trigger string) (v int64) {
+		prefix := fmt.Sprintf(`histcube_ecube_conversions_total{trigger=%q} `, trigger)
 		for _, line := range strings.Split(body, "\n") {
-			if strings.HasPrefix(line, "histcube_ecube_conversions_total ") {
-				fmt.Sscanf(line, "histcube_ecube_conversions_total %d", &v)
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				fmt.Sscanf(rest, "%d", &v)
 			}
 		}
 		return v
+	}
+	conversions := func(body string) int64 {
+		return conversionsBy(body, "query") + conversionsBy(body, "append")
 	}
 
 	c.cmd(t, "QRY 0 3 0 0 7 7") // historic query
@@ -331,6 +342,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if prev <= conv1 {
 		t.Errorf("conversions did not grow across varied historic queries: %d -> %d", conv1, prev)
+	}
+	if leg := conversionsBy(get("/metrics"), "append"); leg != 0 {
+		t.Errorf("append-triggered conversions = %d, want 0 (appends never run the eCube algorithm)", leg)
 	}
 
 	if got := c.cmd(t, "QUIT"); got != "BYE" {

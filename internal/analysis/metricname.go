@@ -14,13 +14,23 @@ import (
 // package. Dashboards and the /metrics scrape contract key on these
 // literals; a computed name defeats grep-ability, and a double
 // registration either panics at runtime or silently merges two series.
+//
+// The same contract covers trace span names (trace.New and
+// Span.StartChild): constant dotted snake_case under the histcube. or
+// histserve. prefix, so EXPLAIN output and slow-query log entries stay
+// grep-able against the source. Spans carry no duplicate-site check —
+// unlike a metric series, the same span name legitimately starts from
+// many call sites.
 var MetricName = &Analyzer{
 	Name: "metricname",
-	Doc:  "obs metrics use constant histcube_/histserve_ snake_case names, registered once",
+	Doc:  "obs metrics and trace spans use constant histcube/histserve snake_case names",
 	Run:  runMetricName,
 }
 
-var metricNameRE = regexp.MustCompile(`^(histcube|histserve)(_[a-z0-9]+)+$`)
+var (
+	metricNameRE = regexp.MustCompile(`^(histcube|histserve)(_[a-z0-9]+)+$`)
+	spanNameRE   = regexp.MustCompile(`^(histcube|histserve)(\.[a-z0-9_]+)+$`)
+)
 
 var metricRegisterMethods = map[string]bool{
 	"NewCounter":     true,
@@ -37,6 +47,9 @@ func runMetricName(pass *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if checkSpanName(pass, call) {
 				return true
 			}
 			fn := calleeMethod(pass, call)
@@ -74,4 +87,36 @@ func runMetricName(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkSpanName reports whether call is a span-starting call
+// (trace.New or Span.StartChild on histcube's internal/trace), and if
+// so checks the name argument against the span naming contract.
+func checkSpanName(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	isNew := fn != nil && fn.Pkg() != nil && fn.Name() == "New" &&
+		PathHasSuffix(fn.Pkg().Path(), "internal/trace")
+	if !isNew {
+		fn = calleeMethod(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Name() != "StartChild" ||
+			!PathHasSuffix(fn.Pkg().Path(), "internal/trace") {
+			return false
+		}
+	}
+	if len(call.Args) == 0 {
+		return true
+	}
+	name, isConst := constantString(pass, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(),
+			"span name %s is not a string constant: names must be grep-able literals (EXPLAIN and slow-log entries key on them)",
+			types.ExprString(call.Args[0]))
+		return true
+	}
+	if !spanNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"span name %q violates the naming contract: want histcube./histserve. prefix and dotted lower snake_case (%s)",
+			name, spanNameRE)
+	}
+	return true
 }

@@ -1,6 +1,9 @@
 package metricname
 
-import "example.com/metricname/internal/obs"
+import (
+	"example.com/metricname/internal/obs"
+	"example.com/metricname/internal/trace"
+)
 
 const namedConstant = "histcube_named_constant_total"
 
@@ -19,3 +22,21 @@ func register(reg *obs.Registry, dynamic string) {
 }
 
 func count() int64 { return 0 }
+
+const namedSpan = "histcube.named_span"
+
+func spans(dynamic string) {
+	root := trace.New("histserve.query")    // ok: literal, dotted, well-formed
+	root.StartChild("histcube.prefix")      // ok
+	root.StartChild("histcube.slice_query") // ok: underscores inside a dotted segment
+	root.StartChild("histcube.prefix")      // ok: same span name from many sites is fine (no duplicate rule)
+	_ = trace.New(namedSpan)                // ok: named constant still folds to a literal
+
+	_ = trace.New(dynamic)                 // want `span name dynamic is not a string constant`
+	_ = trace.New("histcube." + dynamic)   // want `is not a string constant`
+	_ = trace.New("histcube.BadCase")      // want `span name "histcube.BadCase" violates the naming contract`
+	_ = trace.New("histcube_query")        // want `violates the naming contract`
+	_ = trace.New("query.histcube")        // want `violates the naming contract`
+	root.StartChild("histcube.")           // want `violates the naming contract`
+	root.StartChild("other.prefix.spoken") // want `violates the naming contract`
+}

@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"histcube/internal/ddc"
 	"histcube/internal/dims"
+	"histcube/internal/directory"
 	"histcube/internal/ecube"
 	"histcube/internal/molap"
+	"histcube/internal/pager"
+	"histcube/internal/trace"
 )
 
 // ErrOutOfOrder reports an update whose time coordinate precedes the
@@ -114,7 +116,10 @@ type Cube struct {
 	engine  *ecube.Engine
 
 	cache []cacheCell
-	times []int64 // occurring time values, ascending
+	// dir is the time directory of Section 2.3: occurring time values
+	// mapped to dense slice indices, with O(1) latest and O(log n)
+	// Floor lookups.
+	dir *directory.Array
 
 	// Copy-ahead state.
 	threshold    int  // fixed budget; 0 with adaptive=true
@@ -176,6 +181,7 @@ func New(cfg Config) (*Cube, error) {
 		store:      store,
 		engine:     engine,
 		cache:      make([]cacheCell, size),
+		dir:        directory.NewArray(),
 		threshold:  threshold,
 		adaptive:   adaptive,
 		copyPages:  copyPages,
@@ -195,16 +201,16 @@ func (c *Cube) SliceShape() dims.Shape { return c.shape }
 func (c *Cube) Store() SliceStore { return c.store }
 
 // Times returns the occurring time values in ascending order.
-func (c *Cube) Times() []int64 { return c.times }
+func (c *Cube) Times() []int64 { return c.dir.Times() }
 
 // NumSlices returns the number of occurring time values.
-func (c *Cube) NumSlices() int { return len(c.times) }
+func (c *Cube) NumSlices() int { return c.dir.Len() }
 
 // Incomplete returns the number of historic slices that are not yet
 // completely copied (Table 4's measurement): slices s with
 // minTS <= s < latest.
 func (c *Cube) Incomplete() int {
-	latest := len(c.times) - 1
+	latest := c.dir.Len() - 1
 	if latest < 0 || c.minTS >= latest {
 		return 0
 	}
@@ -216,7 +222,7 @@ func (c *Cube) moveTS(off int, to int32) {
 	c.tsCount[from]--
 	c.tsCount[to]++
 	c.cache[off].ts = to
-	latest := len(c.times) - 1
+	latest := c.dir.Len() - 1
 	for c.minTS < latest && c.tsCount[c.minTS] == 0 {
 		c.minTS++
 	}
@@ -231,13 +237,16 @@ func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, erro
 	if !c.shape.Contains(x) {
 		return res, fmt.Errorf("appendcube: update coordinate %v outside slice shape %v", x, c.shape)
 	}
-	// Step 1: open a new time slice if needed.
-	if n := len(c.times); n == 0 || timeVal > c.times[n-1] {
-		idx := len(c.times)
-		if err := c.store.Reserve(idx); err != nil {
+	// Step 1: open a new time slice if needed. The directory's O(1)
+	// latest pointer (Section 2.3) decides between "same slice" and
+	// "new slice"; equal times share a slice, smaller ones are
+	// out of order.
+	_, lastT, hasSlices := c.dir.Latest()
+	if !hasSlices || timeVal > lastT {
+		if err := c.store.Reserve(c.dir.Len()); err != nil {
 			return res, err
 		}
-		if n > 0 {
+		if hasSlices {
 			// Fold the closing slice's update count into the density
 			// estimate the adaptive copy-ahead budget tracks.
 			//histlint:ignore nofloateq zero is the "no estimate yet" sentinel; the estimate itself is never exactly zero once seeded
@@ -248,13 +257,15 @@ func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, erro
 			}
 		}
 		c.sliceUpds = 0
-		c.times = append(c.times, timeVal)
+		if _, err := c.dir.Append(timeVal); err != nil {
+			return res, fmt.Errorf("appendcube: registering time %d: %w", timeVal, err)
+		}
 		c.tsCount = append(c.tsCount, 0)
 		res.NewSlice = true
-	} else if timeVal < c.times[n-1] {
-		return res, fmt.Errorf("%w: got %d, latest is %d", ErrOutOfOrder, timeVal, c.times[n-1])
+	} else if timeVal < lastT {
+		return res, fmt.Errorf("%w: got %d, latest is %d", ErrOutOfOrder, timeVal, lastT)
 	}
-	latest := int32(len(c.times) - 1)
+	latest := int32(c.dir.Len() - 1)
 
 	// Step 2: cells of cache affected by the DDC update.
 	for d := range c.shape {
@@ -359,7 +370,7 @@ func (c *Cube) budget() int {
 // cursor cell one slice ahead, or advance the cursor if the cell is
 // current. Cursor advances count as work (one cache inspection).
 func (c *Cube) copyAheadCells(used, budget int) (int, error) {
-	latest := int32(len(c.times) - 1)
+	latest := int32(c.dir.Len() - 1)
 	work := 0
 	for used+work < budget && c.minTS < int(latest) {
 		cell := &c.cache[c.z]
@@ -386,7 +397,7 @@ func (c *Cube) copyAheadCells(used, budget int) (int, error) {
 // the paper found keeps at most one historic instance incomplete.
 func (c *Cube) copyAheadPages() (int, error) {
 	ds := c.store.(*DiskStore)
-	latest := len(c.times) - 1
+	latest := c.dir.Len() - 1
 	work := 0
 	for page := 0; page < c.copyPages; page++ {
 		s := c.minTS
@@ -424,7 +435,7 @@ func (c *Cube) copyAheadPages() (int, error) {
 // ForceComplete drains all pending copies, materialising every
 // historic slice completely. Tests and the data-aging path use it.
 func (c *Cube) ForceComplete() error {
-	latest := int32(len(c.times) - 1)
+	latest := int32(c.dir.Len() - 1)
 	if latest < 0 {
 		return nil
 	}
@@ -488,16 +499,25 @@ func (v sliceView) StorePS(off int, val float64) bool {
 // [timeLo, timeHi] and the slice-dimension box: the framework
 // reduction q_u - q_l over the two relevant cumulative slices.
 func (c *Cube) Query(timeLo, timeHi int64, box dims.Box) (float64, error) {
+	return c.QueryTraced(nil, timeLo, timeHi, box)
+}
+
+// QueryTraced is Query with per-request cost attribution: each of the
+// (at most two) prefix time queries of the framework reduction becomes
+// a histcube.prefix child span under sp, carrying the directory
+// lookup result and the consulted instance's cost counters. A nil
+// span records nothing and costs a few branches.
+func (c *Cube) QueryTraced(sp *trace.Span, timeLo, timeHi int64, box dims.Box) (float64, error) {
 	if err := box.Validate(c.shape); err != nil {
 		return 0, err
 	}
 	if timeLo > timeHi {
 		return 0, fmt.Errorf("appendcube: inverted time range [%d, %d]", timeLo, timeHi)
 	}
-	if len(c.times) == 0 {
+	if c.dir.Len() == 0 {
 		return 0, nil
 	}
-	qu, err := c.prefixTimeQuery(timeHi, box)
+	qu, err := c.prefixTimeQuery(sp, timeHi, box)
 	if err != nil {
 		return 0, err
 	}
@@ -505,7 +525,7 @@ func (c *Cube) Query(timeLo, timeHi int64, box dims.Box) (float64, error) {
 		// timeLo-1 would wrap around; nothing precedes the range.
 		return qu, nil
 	}
-	ql, err := c.prefixTimeQuery(timeLo-1, box)
+	ql, err := c.prefixTimeQuery(sp, timeLo-1, box)
 	if err != nil {
 		return 0, err
 	}
@@ -519,32 +539,93 @@ func (c *Cube) PrefixTimeQuery(t int64, box dims.Box) (float64, error) {
 	if err := box.Validate(c.shape); err != nil {
 		return 0, err
 	}
-	return c.prefixTimeQuery(t, box)
+	return c.prefixTimeQuery(nil, t, box)
 }
 
-func (c *Cube) prefixTimeQuery(t int64, box dims.Box) (float64, error) {
+func (c *Cube) prefixTimeQuery(sp *trace.Span, t int64, box dims.Box) (float64, error) {
+	ps := sp.StartChild("histcube.prefix")
+	defer ps.End()
+	ps.SetInt("t", t)
 	// Directory lookup: greatest occurring time <= t.
-	idx := sort.Search(len(c.times), func(i int) bool { return c.times[i] > t }) - 1
-	if idx < 0 {
+	idx, ok := c.dir.Floor(t)
+	if !ok {
+		ps.SetStr("slice", "none")
 		return 0, nil
 	}
-	return c.SliceQuery(idx, box)
+	ps.SetInt("slice", int64(idx))
+	return c.sliceQuery(ps, idx, box)
 }
 
 // SliceQuery aggregates the box over the cumulative slice with index
 // s. The latest slice is answered by the DDC algorithm on cache;
 // historic slices by the eCube algorithm over the store.
 func (c *Cube) SliceQuery(s int, box dims.Box) (float64, error) {
-	if s < 0 || s >= len(c.times) {
-		return 0, fmt.Errorf("appendcube: slice index %d out of range [0, %d)", s, len(c.times))
+	return c.sliceQuery(nil, s, box)
+}
+
+// sliceQuery runs one instance query, attributing its cost to a
+// histcube.slice_query child span when sp is non-nil: cells touched
+// and conversions from the eCube engine, cache/store access deltas,
+// and — for disk-backed stores — pager read/write deltas. The deltas
+// are exact because the cube serialises all calls (the server's
+// single-mutex contract).
+func (c *Cube) sliceQuery(sp *trace.Span, s int, box dims.Box) (float64, error) {
+	if s < 0 || s >= c.dir.Len() {
+		return 0, fmt.Errorf("appendcube: slice index %d out of range [0, %d)", s, c.dir.Len())
 	}
 	if err := box.Validate(c.shape); err != nil {
 		return 0, err
 	}
-	if s == len(c.times)-1 {
-		return c.cacheQuery(box), nil
+	if s == c.dir.Len()-1 {
+		if sp == nil {
+			return c.cacheQuery(box), nil
+		}
+		qs := sp.StartChild("histcube.slice_query")
+		qs.SetInt("slice", int64(s))
+		qs.SetStr("form", "cache")
+		qs.Add(trace.Instances, 1)
+		cacheBefore := c.CacheAccesses
+		v := c.cacheQuery(box)
+		qs.Add(trace.CacheAccesses, c.CacheAccesses-cacheBefore)
+		qs.End()
+		return v, nil
 	}
-	return c.engine.Range(sliceView{c: c, s: s}, box)
+	if sp == nil {
+		return c.engine.Range(sliceView{c: c, s: s}, box)
+	}
+	qs := sp.StartChild("histcube.slice_query")
+	qs.SetInt("slice", int64(s))
+	qs.SetStr("form", "historic")
+	qs.Add(trace.Instances, 1)
+	cacheBefore := c.CacheAccesses
+	storeBefore := c.store.Accesses()
+	var readsBefore, writesBefore int64
+	pg := storePager(c.store)
+	if pg != nil {
+		readsBefore, writesBefore = pg.Reads, pg.Writes
+	}
+	v, err := c.engine.RangeTraced(qs, sliceView{c: c, s: s}, box)
+	qs.Add(trace.CacheAccesses, c.CacheAccesses-cacheBefore)
+	qs.Add(trace.StoreAccesses, c.store.Accesses()-storeBefore)
+	if pg != nil {
+		qs.Add(trace.PagerReads, pg.Reads-readsBefore)
+		qs.Add(trace.PagerWrites, pg.Writes-writesBefore)
+	}
+	qs.End()
+	return v, err
+}
+
+// storePager unwraps the pager behind a disk-backed (or tiered) store,
+// nil for pure in-memory stores.
+func storePager(s SliceStore) *pager.Pager {
+	switch st := s.(type) {
+	case *DiskStore:
+		return st.Pager()
+	case *TieredStore:
+		return storePager(st.Cold())
+	default:
+		return nil
+	}
 }
 
 // cacheQuery runs the direct DDC range algorithm against the cache.

@@ -268,7 +268,7 @@ func TestIncompleteTracking(t *testing.T) {
 				minTS = cell.ts
 			}
 		}
-		want := len(c.times) - 1 - int(minTS)
+		want := c.dir.Len() - 1 - int(minTS)
 		if want < 0 {
 			want = 0
 		}

@@ -53,7 +53,7 @@ func (c *Cube) EncodeSnapshot(enc *gob.Encoder) error {
 	s := snapshot{
 		Version:      snapshotVersion,
 		Shape:        c.shape,
-		Times:        c.times,
+		Times:        c.dir.Times(),
 		CacheVals:    make([]float64, len(c.cache)),
 		CacheTS:      make([]int32, len(c.cache)),
 		SliceVals:    ms.vals,
@@ -117,7 +117,13 @@ func DecodeSnapshot(dec *gob.Decoder) (*Cube, error) {
 	ms := c.store.(*MemStore)
 	ms.vals = s.SliceVals
 	ms.flags = s.SliceFlags
-	c.times = s.Times
+	// Rebuild the time directory; Append rejects non-increasing times,
+	// so a corrupted snapshot fails here instead of corrupting lookups.
+	for _, t := range s.Times {
+		if _, err := c.dir.Append(t); err != nil {
+			return nil, fmt.Errorf("appendcube: snapshot times: %w", err)
+		}
+	}
 	c.totalUpdates = s.TotalUpdates
 	c.sliceUpds = s.SliceUpds
 	c.estPerSlice = s.EstPerSlice

@@ -131,7 +131,7 @@ func (c *Cube) Age(n int) (int, error) {
 	if !ok {
 		return 0, ErrNotTiered
 	}
-	latest := len(c.times) - 1
+	latest := c.dir.Len() - 1
 	demoted := 0
 	for i := 0; i < n; i++ {
 		s := ts.boundary

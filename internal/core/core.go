@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,7 @@ import (
 	"histcube/internal/obs"
 	"histcube/internal/pager"
 	"histcube/internal/rstar"
+	"histcube/internal/trace"
 )
 
 // Dim names one non-time dimension and fixes its domain size;
@@ -96,6 +98,14 @@ type Stats struct {
 	// eCube query algorithm rewrote from DDC to PS form — the live
 	// counterpart of the paper's Figure 10/11 convergence curves.
 	ECubeConversions int64
+	// ECubeConversionsQuery and ECubeConversionsAppend split
+	// ECubeConversions by trigger: conversions performed while
+	// answering range queries vs. while applying appends (structurally
+	// zero today — the append path never runs the eCube algorithm —
+	// but measured, not assumed, so a future code path that converts
+	// on append shows up attributed rather than silently lumped in).
+	ECubeConversionsQuery  int64
+	ECubeConversionsAppend int64
 	// ECubeCellsTouched is the cumulative number of historic-slice
 	// cells loaded by queries.
 	ECubeCellsTouched int64
@@ -121,6 +131,13 @@ type Cube struct {
 	appended   int64
 	outOfOrder int64
 	lastRes    appendcube.UpdateResult
+
+	// convQuery and convAppend attribute eCube conversions to their
+	// trigger by before/after deltas of the engine counters around the
+	// query and apply paths; exact because the cube is single-threaded
+	// by contract (callers serialise, e.g. histserve's mutex).
+	convQuery  int64
+	convAppend int64
 
 	// ins, when non-nil, receives per-operation latency observations
 	// (see instrument.go).
@@ -226,27 +243,52 @@ func (c *Cube) Shape() []int { return append([]int(nil), c.shape...) }
 // buffered when configured, rejected with appendcube.ErrOutOfOrder
 // otherwise.
 func (c *Cube) Insert(t int64, coords []int, v float64) error {
+	return c.insertTraced(nil, t, coords, v)
+}
+
+// InsertCtx is Insert with request-scoped tracing: when ctx carries a
+// trace span (trace.NewContext), the insert records a histcube.insert
+// child span with its cache/copy cost counters. A bare context costs
+// one branch.
+func (c *Cube) InsertCtx(ctx context.Context, t int64, coords []int, v float64) error {
+	return c.insertTraced(trace.FromContext(ctx), t, coords, v)
+}
+
+func (c *Cube) insertTraced(sp *trace.Span, t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Insert).ObserveDuration()
 	}
+	op := sp.StartChild("histcube.insert")
+	defer op.End()
 	if err := c.logOp(Op{Kind: OpInsert, Time: t, Coords: coords, Value: v}); err != nil {
 		return err
 	}
 	val := agg.Point(c.cfg.Operator, v)
-	return c.apply(t, coords, val)
+	return c.apply(op, t, coords, val)
 }
 
 // Delete removes a previously inserted point by applying the inverse
 // contribution — the paper's translation of deletes into updates.
 func (c *Cube) Delete(t int64, coords []int, v float64) error {
+	return c.deleteTraced(nil, t, coords, v)
+}
+
+// DeleteCtx is Delete with request-scoped tracing (see InsertCtx).
+func (c *Cube) DeleteCtx(ctx context.Context, t int64, coords []int, v float64) error {
+	return c.deleteTraced(trace.FromContext(ctx), t, coords, v)
+}
+
+func (c *Cube) deleteTraced(sp *trace.Span, t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Delete).ObserveDuration()
 	}
+	op := sp.StartChild("histcube.delete")
+	defer op.End()
 	if err := c.logOp(Op{Kind: OpDelete, Time: t, Coords: coords, Value: v}); err != nil {
 		return err
 	}
 	val := agg.Point(c.cfg.Operator, v).Neg()
-	return c.apply(t, coords, val)
+	return c.apply(op, t, coords, val)
 }
 
 // AddDelta adjusts the raw sum component directly (SUM cubes only):
@@ -255,22 +297,33 @@ func (c *Cube) AddDelta(t int64, coords []int, delta float64) error {
 	if err := c.logOp(Op{Kind: OpAddDelta, Time: t, Coords: coords, Value: delta}); err != nil {
 		return err
 	}
-	return c.applyDelta(t, coords, delta)
+	return c.applyDelta(nil, t, coords, delta)
 }
 
-func (c *Cube) applyDelta(t int64, coords []int, delta float64) error {
+func (c *Cube) applyDelta(sp *trace.Span, t int64, coords []int, delta float64) error {
 	if c.cfg.Operator != agg.Sum {
 		return fmt.Errorf("core: AddDelta requires the SUM operator, cube uses %s", c.cfg.Operator)
 	}
-	return c.apply(t, coords, agg.Value{Sum: delta})
+	return c.apply(sp, t, coords, agg.Value{Sum: delta})
 }
 
-func (c *Cube) apply(t int64, coords []int, val agg.Value) error {
+func (c *Cube) apply(sp *trace.Span, t int64, coords []int, val agg.Value) error {
+	// Attribute any eCube conversions this append causes to the append
+	// trigger (none today — appends never run the eCube algorithm —
+	// but measured, not assumed).
+	convBefore := c.engineConversions()
+	defer func() { c.convAppend += c.engineConversions() - convBefore }()
 	res, err := c.sum.Update(t, coords, val.Sum)
 	switch {
 	case err == nil:
 		c.lastRes = res
 		c.appended++
+		sp.Add(trace.CacheAccesses, int64(res.CacheCells))
+		sp.Add(trace.ForcedCopies, int64(res.ForcedCopies))
+		sp.Add(trace.CopyAheadWork, int64(res.CopyAhead))
+		if res.NewSlice {
+			sp.SetBool("new_slice", true)
+		}
 		if c.cnt != nil {
 			if _, err := c.cnt.Update(t, coords, val.Count); err != nil {
 				return err
@@ -283,54 +336,97 @@ func (c *Cube) apply(t int64, coords []int, val agg.Value) error {
 			c.cgd.Insert(t, coords, val.Count)
 		}
 		c.outOfOrder++
+		sp.SetBool("out_of_order", true)
 		return nil
 	default:
 		return err
 	}
 }
 
+// engineConversions reads the cumulative eCube conversion count over
+// both components, the quantity the query/append trigger split deltas.
+func (c *Cube) engineConversions() int64 {
+	n := c.sum.Conversions()
+	if c.cnt != nil {
+		n += c.cnt.Conversions()
+	}
+	return n
+}
+
 // Query aggregates over the range and finalises per the operator
 // (AVERAGE divides the summed measures by the count).
 func (c *Cube) Query(r Range) (float64, error) {
+	return c.QueryTraced(nil, r)
+}
+
+// QueryCtx is Query with request-scoped tracing: when ctx carries a
+// trace span, the query attributes its full cost breakdown — the two
+// framework prefix queries, cells touched, DDC->PS conversions,
+// instances consulted, store and pager I/O — to a histcube.query
+// child span. A bare context costs one branch.
+func (c *Cube) QueryCtx(ctx context.Context, r Range) (float64, error) {
+	return c.QueryTraced(trace.FromContext(ctx), r)
+}
+
+// QueryTraced is QueryCtx for callers that already hold the span.
+func (c *Cube) QueryTraced(sp *trace.Span, r Range) (float64, error) {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Query).ObserveDuration()
 	}
-	v, err := c.partial(r)
+	q := sp.StartChild("histcube.query")
+	defer q.End()
+	q.SetInt("time_lo", r.TimeLo)
+	q.SetInt("time_hi", r.TimeHi)
+	v, err := c.partial(q, r)
 	if err != nil {
 		return 0, err
 	}
 	return agg.Finalize(c.cfg.Operator, v), nil
 }
 
-func (c *Cube) partial(r Range) (agg.Value, error) {
+func (c *Cube) partial(sp *trace.Span, r Range) (agg.Value, error) {
+	convBefore := c.engineConversions()
+	out, err := c.partialInner(sp, r)
+	c.convQuery += c.engineConversions() - convBefore
+	return out, err
+}
+
+func (c *Cube) partialInner(sp *trace.Span, r Range) (agg.Value, error) {
 	box := dims.Box{Lo: r.Lo, Hi: r.Hi}
-	s, err := c.sum.Query(r.TimeLo, r.TimeHi, box)
+	s, err := c.sum.QueryTraced(sp, r.TimeLo, r.TimeHi, box)
 	if err != nil {
 		return agg.Value{}, err
 	}
 	out := agg.Value{Sum: s, Count: s}
 	if c.cnt != nil {
-		n, err := c.cnt.Query(r.TimeLo, r.TimeHi, box)
+		cq := sp.StartChild("histcube.count_cube")
+		n, err := c.cnt.QueryTraced(cq, r.TimeLo, r.TimeHi, box)
+		cq.End()
 		if err != nil {
 			return agg.Value{}, err
 		}
 		out.Count = n
 	}
 	if c.gd != nil {
+		gq := sp.StartChild("histcube.ooo_buffer")
+		gq.SetInt("pending", int64(c.gd.Len()))
 		g, err := c.gd.Query(r.TimeLo, r.TimeHi, box)
 		if err != nil {
+			gq.End()
 			return agg.Value{}, err
 		}
 		out.Sum += g
 		if c.cgd != nil {
 			gn, err := c.cgd.Query(r.TimeLo, r.TimeHi, box)
 			if err != nil {
+				gq.End()
 				return agg.Value{}, err
 			}
 			out.Count += gn
 		} else {
 			out.Count += g
 		}
+		gq.End()
 	}
 	return out, nil
 }
@@ -339,17 +435,19 @@ func (c *Cube) partial(r Range) (agg.Value, error) {
 // cumulative cost counters sum the SUM and COUNT components.
 func (c *Cube) Stats() Stats {
 	st := Stats{
-		Slices:             c.sum.NumSlices(),
-		IncompleteSlices:   c.sum.Incomplete(),
-		CacheAccesses:      c.sum.CacheAccesses,
-		StoreAccesses:      c.sum.Store().Accesses(),
-		AppendedUpdates:    c.appended,
-		OutOfOrderUpdates:  c.outOfOrder,
-		LastUpdateCost:     c.lastRes.Cost(),
-		LastUpdateCopyWork: c.lastRes.ForcedCopies + c.lastRes.CopyAhead,
-		ECubeConversions:   c.sum.Conversions(),
-		ECubeCellsTouched:  c.sum.CellsTouched(),
-		TierDemotions:      c.sum.Demotions(),
+		Slices:                 c.sum.NumSlices(),
+		IncompleteSlices:       c.sum.Incomplete(),
+		CacheAccesses:          c.sum.CacheAccesses,
+		StoreAccesses:          c.sum.Store().Accesses(),
+		AppendedUpdates:        c.appended,
+		OutOfOrderUpdates:      c.outOfOrder,
+		LastUpdateCost:         c.lastRes.Cost(),
+		LastUpdateCopyWork:     c.lastRes.ForcedCopies + c.lastRes.CopyAhead,
+		ECubeConversions:       c.sum.Conversions(),
+		ECubeCellsTouched:      c.sum.CellsTouched(),
+		ECubeConversionsQuery:  c.convQuery,
+		ECubeConversionsAppend: c.convAppend,
+		TierDemotions:          c.sum.Demotions(),
 	}
 	st.ForcedCopies, st.CopyAheadWork = c.sum.CopyProgress()
 	if c.cnt != nil {

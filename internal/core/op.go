@@ -71,11 +71,11 @@ func (c *Cube) logOp(op Op) error {
 func (c *Cube) ApplyOp(op Op) error {
 	switch op.Kind {
 	case OpInsert:
-		return c.apply(op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value))
+		return c.apply(nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value))
 	case OpDelete:
-		return c.apply(op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value).Neg())
+		return c.apply(nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value).Neg())
 	case OpAddDelta:
-		return c.applyDelta(op.Time, op.Coords, op.Value)
+		return c.applyDelta(nil, op.Time, op.Coords, op.Value)
 	default:
 		return fmt.Errorf("core: unknown op kind %d", op.Kind)
 	}

@@ -74,6 +74,11 @@ func (a *Array) Len() int { return len(a.times) }
 // Time implements Directory.
 func (a *Array) Time(idx int) int64 { return a.times[idx] }
 
+// Times returns the backing slice of occurring times in ascending
+// order. Callers must not mutate it; it stays valid until the next
+// Append.
+func (a *Array) Times() []int64 { return a.times }
+
 // Tree is the sparse-TT-dimension directory: a B-tree keyed by time
 // with the instance index as payload.
 type Tree struct {

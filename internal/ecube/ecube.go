@@ -21,6 +21,7 @@ import (
 	"histcube/internal/ddc"
 	"histcube/internal/dims"
 	"histcube/internal/molap"
+	"histcube/internal/trace"
 )
 
 // CellStore is the storage a query engine operates on: a flat
@@ -90,17 +91,33 @@ func (en *Engine) Converts() int64 { return en.converts.Load() }
 // prefix index chains, so the worst case touches no more cells than
 // the plain DDC algorithm.
 func (en *Engine) Prefix(cs CellStore, x []int) float64 {
+	return en.PrefixTraced(nil, cs, x)
+}
+
+// PrefixTraced is Prefix with per-request cost attribution: the
+// evaluation's cell loads and persisted conversions are added to sp's
+// CellsTouched and Conversions counters. A nil span records nothing
+// and costs one branch per evaluation.
+func (en *Engine) PrefixTraced(sp *trace.Span, cs CellStore, x []int) float64 {
 	if !en.shape.Contains(x) {
 		panic("ecube: prefix coordinate outside shape")
 	}
-	return en.prefixRec(cs, x, &evalCtx{})
+	ctx := evalCtx{}
+	v := en.prefixRec(cs, x, &ctx)
+	sp.Add(trace.CellsTouched, int64(ctx.loads))
+	sp.Add(trace.Conversions, int64(ctx.converts))
+	return v
 }
 
 // evalCtx carries per-evaluation state: PS values the store declined
 // to persist, memoised so the recursion stays within the DDC cost
-// bound. The map is allocated on the first declined StorePS only.
+// bound (the map is allocated on the first declined StorePS only),
+// plus the evaluation's own load/conversion counts so a trace span can
+// attribute cost to one request without reading the shared atomics.
 type evalCtx struct {
-	memo map[int]float64
+	memo     map[int]float64
+	loads    int
+	converts int
 }
 
 func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
@@ -112,6 +129,7 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 		return v
 	}
 	en.loads.Add(1)
+	ctx.loads++
 	val, ps := cs.Load(off)
 	if ps {
 		return val
@@ -146,6 +164,7 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 	}
 	if cs.StorePS(off, val) {
 		en.converts.Add(1)
+		ctx.converts++
 	} else {
 		if ctx.memo == nil {
 			ctx.memo = make(map[int]float64)
@@ -159,6 +178,15 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 // reduction: at most 2^d corner prefix queries with alternating signs,
 // corners with a -1 coordinate contributing zero.
 func (en *Engine) Range(cs CellStore, b dims.Box) (float64, error) {
+	return en.RangeTraced(nil, cs, b)
+}
+
+// RangeTraced is Range with per-request cost attribution (see
+// PrefixTraced): the query's cell loads and persisted DDC->PS
+// conversions land on sp. As the slice converges to PS form the
+// recorded CellsTouched falls from the (2 log2 N)^(d-1) DDC bound to
+// the 2^(d-1) corner count — Figures 10/11, observable per query.
+func (en *Engine) RangeTraced(sp *trace.Span, cs CellStore, b dims.Box) (float64, error) {
 	if err := b.Validate(en.shape); err != nil {
 		return 0, err
 	}
@@ -189,6 +217,8 @@ func (en *Engine) Range(cs CellStore, b dims.Box) (float64, error) {
 			total -= p
 		}
 	}
+	sp.Add(trace.CellsTouched, int64(ctx.loads))
+	sp.Add(trace.Conversions, int64(ctx.converts))
 	return total, nil
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestTracedQueryCostConvergence pins the -trace mode's convergence
+// claim: identical historic queries start in the DDC cost regime
+// (above the PS bound, converting cells) and end exactly at the
+// paper's 2^d bound with no further conversions, never increasing
+// along the way.
+func TestTracedQueryCostConvergence(t *testing.T) {
+	res, err := TracedQueryCost(16, 2, 24, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24 {
+		t.Fatalf("got %d records, want 24", len(res.Records))
+	}
+	psBound := int64(res.PSBound)
+	first := res.Records[0]
+	last := res.Records[len(res.Records)-1]
+	if first.Conversions == 0 {
+		t.Fatalf("first historic query converted nothing: %+v", first)
+	}
+	if first.CellsTouched <= psBound {
+		t.Fatalf("first query already at the PS bound: %+v", first)
+	}
+	if first.CellsTouched > int64(res.DDCBound) {
+		t.Fatalf("first query exceeded the DDC bound %g: %+v", res.DDCBound, first)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].CellsTouched > res.Records[i-1].CellsTouched {
+			t.Fatalf("per-query cost increased at record %d: %+v -> %+v",
+				i, res.Records[i-1], res.Records[i])
+		}
+		//histlint:ignore nofloateq identical queries over identical state must agree bitwise
+		if res.Records[i].Result != first.Result {
+			t.Fatalf("result drifted at record %d: %v != %v", i, res.Records[i].Result, first.Result)
+		}
+	}
+	if last.CellsTouched != psBound || last.Conversions != 0 {
+		t.Fatalf("did not converge to %d cells / 0 conversions: %+v", psBound, last)
+	}
+	if last.Instances != 1 {
+		t.Fatalf("instances = %d, want 1 (time 0 prefix resolves to no slice)", last.Instances)
+	}
+}
+
+// TestTracedQueryCostRandom sanity-checks the random-box mode.
+func TestTracedQueryCostRandom(t *testing.T) {
+	res, err := TracedQueryCost(16, 2, 10, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("got %d records, want 10", len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if rec.Instances < 1 {
+			t.Fatalf("record consulted no instance: %+v", rec)
+		}
+		if rec.DurationNS <= 0 {
+			t.Fatalf("record has no duration: %+v", rec)
+		}
+	}
+}
+
+// TestTracedQueryCostValidation covers the parameter guard.
+func TestTracedQueryCostValidation(t *testing.T) {
+	if _, err := TracedQueryCost(2, 2, 10, true, 1); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := TracedQueryCost(16, 0, 10, true, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := TracedQueryCost(16, 2, 0, true, 1); err == nil {
+		t.Error("0 queries accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"histcube/internal/dims"
+	"histcube/internal/trace"
 )
 
 // Term is one cell contribution to a range aggregate: the value stored
@@ -260,6 +261,21 @@ func (a *Array) UpdateCost(x []int) int {
 // Query computes the aggregate over the closed box by combining the
 // per-dimension QueryTerms via cross product, multiplying factors.
 func (a *Array) Query(b dims.Box) (float64, error) {
+	return a.QueryTraced(nil, b)
+}
+
+// QueryTraced is Query with per-request cost attribution: the cells
+// combined for this one query are added to sp's CellsTouched counter
+// (pre-aggregated arrays never convert, so no other counter moves).
+// A nil span records nothing.
+func (a *Array) QueryTraced(sp *trace.Span, b dims.Box) (float64, error) {
+	before := a.Accesses
+	v, err := a.query(b)
+	sp.Add(trace.CellsTouched, a.Accesses-before)
+	return v, err
+}
+
+func (a *Array) query(b dims.Box) (float64, error) {
 	if err := b.Validate(a.shape); err != nil {
 		return 0, err
 	}

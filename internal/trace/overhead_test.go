@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// traceSink defeats dead-code elimination in the benchmarks below.
+var traceSink int64
+
+// benchDisabledPath is the exact shape of an untraced hot-path call:
+// extract a span from a bare context (absent -> nil) and drive the
+// nil-safe API. Every call must reduce to a handful of branches.
+func benchDisabledPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := FromContext(ctx)
+		child := sp.StartChild("histcube.query")
+		child.Add(CellsTouched, 1)
+		child.SetInt("slice", 3)
+		child.End()
+		traceSink += sp.Total(CellsTouched)
+	}
+}
+
+func BenchmarkDisabledTracer(b *testing.B) { benchDisabledPath(b) }
+
+// TestDisabledTracerOverhead is the regression guard of the issue's
+// acceptance criteria: a disabled tracer (nil span in context) must
+// cost <= 5 ns/op on the query hot path and allocate nothing. It runs
+// the benchmark in-process so check.sh and CI fail on regressions.
+func TestDisabledTracerOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the ns/op measurement")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	res := testing.Benchmark(benchDisabledPath)
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("disabled tracer allocates %d objects/op, want 0", allocs)
+	}
+	nsPerCall := float64(res.T.Nanoseconds()) / float64(res.N)
+	// The benchmark body makes 5 nil-safe calls; the contract is
+	// <= 5 ns per call on the disabled path.
+	const budget = 5.0 * 5
+	if nsPerCall > budget {
+		t.Fatalf("disabled tracer costs %.2f ns per hot-path iteration (5 calls), want <= %.0f", nsPerCall, budget)
+	}
+	t.Logf("disabled tracer: %.2f ns per 5-call iteration, %d allocs", nsPerCall, res.AllocsPerOp())
+}

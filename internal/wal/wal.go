@@ -136,9 +136,19 @@ type Log struct {
 
 	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
 
+	// bytesAppended counts record bytes appended since the log was
+	// opened, unconditionally (unlike the optional Metrics counter).
+	// Atomic so per-request tracing can delta it without taking mu.
+	bytesAppended atomic.Int64
+
 	stop chan struct{} // interval-sync goroutine lifecycle
 	done chan struct{}
 }
+
+// AppendedBytes returns the record bytes appended since the log was
+// opened. Request tracing reads it before and after a mutation to
+// attribute WAL bytes to one op.
+func (l *Log) AppendedBytes() int64 { return l.bytesAppended.Load() }
 
 func segName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
 func ckptName(lsn uint64) string  { return fmt.Sprintf("checkpoint-%016x.ckpt", lsn) }
@@ -264,6 +274,7 @@ func (l *Log) Append(op core.Op) (uint64, error) {
 		return 0, err
 	}
 	l.segBytes += int64(len(rec))
+	l.bytesAppended.Add(int64(len(rec)))
 	l.dirty = true
 	lsn := l.nextLSN
 	l.nextLSN++
