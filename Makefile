@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench fmt crash lint fuzz explain traceguard
+.PHONY: check build test race bench fmt crash lint fuzz explain traceguard chaos
 
 check:
 	./check.sh
@@ -26,6 +26,9 @@ bench:
 
 crash:
 	go test -race -count=1 -v -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
+
+chaos:
+	go test -race -count=1 -v -run 'TestChaos' ./cmd/histserve/
 
 explain:
 	go test -race -count=1 -v -run TestExplainSmokeRealBinary ./cmd/histserve/

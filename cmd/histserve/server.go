@@ -51,12 +51,37 @@
 // finished (readiness — 503 while replaying). The same listener
 // serves GET /debug/slowlog and /debug/trace/recent (retained traces
 // as JSON) and the standard /debug/pprof/* profiling endpoints.
+//
+// Resource governance: -max-conns caps concurrently open client
+// connections (excess connections get one "ERR server busy" line and
+// are closed), -read-timeout closes idle connections, -max-line-bytes
+// bounds the request line a client may send, and -request-timeout puts
+// a context deadline on every INS/DEL/QRY/EXPLAIN — long-running
+// eCube evaluations poll it cooperatively and abandon the request with
+// "ERR timeout". A panic inside a request is recovered per connection:
+// the client sees "ERR internal", the span tree and stack go to the
+// log, and the cube mutex is released by defer rather than poisoned.
+//
+// Graceful degradation: when the durable layer fails persistently — a
+// WAL append that survives its retry budget, or out-of-space anywhere
+// on the checkpoint path — the server flips to read-only. Mutations
+// are rejected with "ERR read-only: ..." while queries keep serving
+// the historic data (the paper's historic slices are immutable, so
+// reads need no healthy write path). Every -degraded-probe-every, one
+// mutation is let through as a recovery probe; the first success
+// clears the flag. /readyz answers 503 and STATS reports degraded=1
+// while the state lasts.
+//
+// The hidden -fault-spec / -fault-seed flags arm the deterministic
+// fault injector (internal/fault) on the WAL segment files and the
+// dispatch loop for chaos runs; see that package for the spec grammar.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -65,6 +90,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -75,10 +101,20 @@ import (
 	"histcube/internal/agg"
 	"histcube/internal/core"
 	"histcube/internal/dims"
+	"histcube/internal/fault"
 	"histcube/internal/obs"
 	"histcube/internal/trace"
 	"histcube/internal/wal"
 )
+
+// errWALAppend marks an op-sink failure: the WAL could not append the
+// mutation, so it was never applied. isStorageFailure keys off it to
+// flip the server read-only.
+var errWALAppend = errors.New("wal append failed")
+
+// errInternal is the client-visible face of a recovered panic; the
+// span tree and stack stay in the server log.
+var errInternal = errors.New("internal error (recovered panic; see server log)")
 
 // commands lists every protocol verb, used to pre-register one
 // labelled request/error counter per command ("other" catches unknown
@@ -122,12 +158,43 @@ type server struct {
 	// pure liveness probe.
 	ready atomic.Bool
 
+	// Resource governance knobs, set from flags before the listener
+	// starts (startup-only, like dims); zero values disable each limit.
+	reqTimeout  time.Duration // per-request context deadline
+	readTimeout time.Duration // idle-connection read deadline
+	maxLineLen  int           // largest accepted request line in bytes
+	maxConns    int64         // open-connection cap; 0 = unlimited
+	probeEvery  time.Duration // recovery-probe interval while degraded
+
+	// shape is the cube's per-dimension domain, frozen at startup (the
+	// protocol's arity and domains cannot change while serving); used to
+	// reject out-of-range coordinates at the boundary.
+	shape []int
+
+	// inj is the optional fault injector (-fault-spec); a nil *Injector
+	// is inert, so call sites need no guard.
+	inj *fault.Injector
+
+	// Degradation state machine: degraded flips on persistent storage
+	// failure and back off when a probe mutation succeeds. degradedMsg
+	// holds the cause (a string); lastProbeNano serialises probe slots
+	// via CAS so the reject fast path never takes mu.
+	degraded      atomic.Bool
+	degradedMsg   atomic.Value
+	lastProbeNano atomic.Int64
+
+	liveConns   atomic.Int64
 	connSeq     atomic.Int64
 	connections *obs.Gauge
 	connTotal   *obs.Counter
 	inflight    *obs.Gauge
 	requests    map[string]*obs.Counter
 	errors      map[string]*obs.Counter
+
+	readonlyRejects *obs.Counter
+	panics          *obs.Counter
+	connRejects     *obs.Counter
+	degradedFlips   *obs.Counter
 }
 
 func main() {
@@ -143,6 +210,13 @@ func main() {
 		ckptN   = flag.Int64("checkpoint-every", 10000, "checkpoint every N WAL records; 0 = only on CHECKPOINT/shutdown (with -data-dir)")
 		slowThr = flag.Duration("slow-query-threshold", 10*time.Millisecond, "queries at or above this duration enter the slow-query log")
 		slowCap = flag.Int("slowlog-size", 32, "worst traces retained by the slow-query log")
+		reqTO   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for INS/DEL/QRY/EXPLAIN; 0 disables")
+		readTO  = flag.Duration("read-timeout", 5*time.Minute, "close connections idle for this long; 0 disables")
+		maxLine = flag.Int("max-line-bytes", 1<<20, "largest accepted request line in bytes")
+		maxConn = flag.Int64("max-conns", 256, "open client connections accepted at once; 0 = unlimited")
+		probeIv = flag.Duration("degraded-probe-every", 2*time.Second, "while read-only, let one mutation through per interval to probe storage recovery")
+		fspec   = flag.String("fault-spec", "", "fault-injection spec for chaos testing (see internal/fault); empty disables")
+		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
 	)
 	flag.Parse()
 
@@ -154,6 +228,21 @@ func main() {
 	}
 	srv.log = logger
 	srv.slow = trace.NewSlowLog(*slowCap, *slowThr)
+	srv.reqTimeout = *reqTO
+	srv.readTimeout = *readTO
+	srv.maxLineLen = *maxLine
+	srv.maxConns = *maxConn
+	srv.probeEvery = *probeIv
+	if *fspec != "" {
+		inj, err := fault.Parse(*fspec, *fseed)
+		if err != nil {
+			logger.Error("bad -fault-spec", "err", err)
+			os.Exit(1)
+		}
+		srv.inj = inj
+		inj.RegisterMetrics(srv.reg)
+		logger.Warn("fault injection armed", "fault", inj.String())
+	}
 	if *load != "" && *dataDir != "" {
 		logger.Error("-load and -data-dir are mutually exclusive (the data directory has its own checkpoints)")
 		os.Exit(1)
@@ -235,6 +324,13 @@ func main() {
 // protocol's coordinate arity.
 func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery int64) (wal.RecoverResult, error) {
 	opts.Metrics = wal.NewMetrics(s.reg)
+	if inj := s.inj; inj != nil {
+		// fault.File is a structural copy of wal.SegmentFile, so the
+		// interface values convert both ways without an adapter.
+		opts.WrapSegment = func(f wal.SegmentFile) wal.SegmentFile {
+			return inj.WrapFile("wal", f)
+		}
+	}
 	s.mu.Lock()
 	fresh := s.cube // still untouched; captured under mu so Recover's callback needs no lock
 	s.mu.Unlock()
@@ -251,14 +347,17 @@ func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery 
 	}
 	cube.SetInstruments(s.ins)
 	cube.SetOpSink(func(op core.Op) error {
-		_, err := log.Append(op)
-		return err
+		if _, err := log.Append(op); err != nil {
+			return fmt.Errorf("%w: %w", errWALAppend, err)
+		}
+		return nil
 	})
 	log.RegisterStateMetrics(s.reg)
 	s.mu.Lock()
 	s.cube = cube
 	s.wal = log
 	s.checkpointEvery = checkpointEvery
+	s.shape = shape
 	s.mu.Unlock()
 	return res, nil
 }
@@ -287,7 +386,9 @@ func (s *server) shutdown() {
 // maybeCheckpointLocked runs the every-N-records checkpoint policy;
 // the caller holds mu. Checkpoint failures are logged, not fatal: the
 // log keeps growing, so durability degrades to slower recovery rather
-// than data loss.
+// than data loss — unless the failure is out-of-space, which means
+// appends are about to fail too, so the server degrades to read-only
+// proactively.
 func (s *server) maybeCheckpointLocked() {
 	if s.wal == nil {
 		return
@@ -295,6 +396,9 @@ func (s *server) maybeCheckpointLocked() {
 	ran, err := s.wal.MaybeCheckpoint(s.checkpointEvery, s.cube.Save)
 	if err != nil {
 		s.log.Error("checkpoint failed", "err", err)
+		if isStorageFailure(err) {
+			s.setDegraded(err)
+		}
 	} else if ran {
 		s.log.Info("checkpoint written", "lsn", s.wal.LastLSN())
 	}
@@ -325,12 +429,15 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 		return nil, err
 	}
 	s := &server{
-		cube:   cube,
-		dims:   len(ds),
-		reg:    obs.NewRegistry(),
-		log:    slog.Default(),
-		slow:   trace.NewSlowLog(32, 10*time.Millisecond),
-		recent: trace.NewRing(64),
+		cube:       cube,
+		dims:       len(ds),
+		shape:      cube.Shape(),
+		reg:        obs.NewRegistry(),
+		log:        slog.Default(),
+		slow:       trace.NewSlowLog(32, 10*time.Millisecond),
+		recent:     trace.NewRing(64),
+		maxLineLen: 1 << 20,
+		probeEvery: 2 * time.Second,
 	}
 	s.ins = core.NewInstruments(s.reg)
 	cube.SetInstruments(s.ins)
@@ -350,6 +457,22 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 		s.errors[cmd] = s.reg.NewCounter("histserve_errors_total",
 			"Requests answered with ERR, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
 	}
+	s.readonlyRejects = s.reg.NewCounter("histserve_readonly_rejections_total",
+		"Mutations rejected while the server was in degraded read-only mode.")
+	s.panics = s.reg.NewCounter("histserve_panics_recovered_total",
+		"Request panics recovered into ERR internal responses.")
+	s.connRejects = s.reg.NewCounter("histserve_connections_rejected_total",
+		"Connections rejected at the -max-conns cap.")
+	s.degradedFlips = s.reg.NewCounter("histserve_degraded_transitions_total",
+		"Transitions into degraded read-only mode.")
+	s.reg.NewGaugeFunc("histcube_degraded",
+		"1 while the server is in degraded read-only mode, 0 when healthy.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	return s, nil
 }
 
@@ -371,10 +494,17 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	// Readiness is distinct from liveness: during WAL replay the
-	// process is alive but must not receive traffic yet.
+	// process is alive but must not receive traffic yet, and in
+	// degraded read-only mode a load balancer should route mutating
+	// traffic elsewhere.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		if s.degraded.Load() {
+			msg, _ := s.degradedMsg.Load().(string)
+			http.Error(w, "degraded: "+msg, http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ok")
@@ -409,8 +539,20 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 
 // handle serves one connection. Each connection gets a process-unique
 // id for log correlation and its requests/errors are accounted both
-// globally (metrics) and per connection (the close log line).
+// globally (metrics) and per connection (the close log line). A
+// connection past the -max-conns cap is rejected with a single ERR
+// line before any per-connection state is set up, so an accept flood
+// cannot exhaust the server.
 func (s *server) handle(conn net.Conn) {
+	if s.maxConns > 0 && s.liveConns.Add(1) > s.maxConns {
+		s.liveConns.Add(-1)
+		s.connRejects.Inc()
+		s.log.Warn("connection rejected at -max-conns cap",
+			"remote", conn.RemoteAddr().String(), "max", s.maxConns)
+		fmt.Fprintln(conn, "ERR server busy: connection limit reached, retry later")
+		_ = conn.Close() // the reject line is best-effort; nothing to salvage
+		return
+	}
 	id := s.connSeq.Add(1)
 	s.connections.Inc()
 	s.connTotal.Inc()
@@ -422,17 +564,31 @@ func (s *server) handle(conn net.Conn) {
 			log.Warn("closing connection failed", "err", err)
 		}
 		s.connections.Dec()
+		if s.maxConns > 0 {
+			s.liveConns.Add(-1)
+		}
 		log.Info("connection closed", "requests", reqs, "errors", errs)
 	}()
 	sc := bufio.NewScanner(conn)
+	if s.maxLineLen > 0 {
+		// The scanner's effective cap is max(cap(buf), maxLineLen), so
+		// the initial buffer must not exceed the configured limit.
+		sc.Buffer(make([]byte, 0, min(4096, s.maxLineLen)), s.maxLineLen)
+	}
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for {
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		reqs++
-		resp, quit := s.dispatch(line)
+		resp, quit := s.safeDispatch(line)
 		if strings.HasPrefix(resp, "ERR") {
 			errs++
 			log.Warn("request failed", "line", line, "resp", resp)
@@ -445,6 +601,40 @@ func (s *server) handle(conn net.Conn) {
 			return
 		}
 	}
+	switch err := sc.Err(); {
+	case err == nil: // clean EOF
+	case errors.Is(err, bufio.ErrTooLong):
+		// The scanner cannot resynchronise past an overlong line; tell
+		// the client why before closing.
+		fmt.Fprintf(w, "ERR line too long (max %d bytes)\n", s.maxLineLen)
+		_ = w.Flush() // best-effort farewell on a connection being torn down
+		log.Warn("connection closed: line exceeds -max-line-bytes", "max", s.maxLineLen)
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			log.Info("connection closed: idle past -read-timeout", "timeout", s.readTimeout)
+		} else {
+			log.Warn("connection read failed", "err", err)
+		}
+	}
+}
+
+// safeDispatch is dispatch behind a panic barrier: a panic anywhere in
+// request handling (including one injected at the serve.dispatch fault
+// site) is logged with its stack and answered with ERR internal, and
+// the connection keeps serving. Panics under mu are converted even
+// earlier, inside mutate/queryLocked, so the deferred unlock runs and
+// the mutex is never poisoned.
+func (s *server) safeDispatch(line string) (resp string, quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			s.log.Error("panic recovered in dispatch",
+				"line", line, "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
+			resp, quit = errResponse(fmt.Errorf("%w (%v)", errInternal, r)), false
+		}
+	}()
+	return s.dispatch(line)
 }
 
 // count records one dispatched request (and, for responses starting
@@ -474,22 +664,35 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 	if len(fields) == 0 {
 		return "ERR empty command", false
 	}
+	// The serve.dispatch fault site: chaos specs can delay, fail or
+	// panic whole requests here to exercise the governance paths. The
+	// panic kind propagates out of Check into safeDispatch's barrier.
+	if out := s.inj.Check("serve.dispatch"); out.Err != nil || out.Delay > 0 {
+		time.Sleep(out.Delay)
+		if out.Err != nil {
+			return "ERR " + out.Err.Error(), false
+		}
+	}
 	switch cmd {
 	case "QUIT":
 		return "BYE", true
 	case "STATS":
-		s.mu.Lock()
-		st := s.cube.Stats()
-		s.mu.Unlock()
+		st := s.statsSnapshot()
+		degraded := 0
+		if s.degraded.Load() {
+			degraded = 1
+		}
 		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
 			"ooo=%d conversions=%d conversions_query=%d conversions_append=%d "+
 			"cells_touched=%d forced_copies=%d copy_ahead=%d "+
-			"demoted=%d cache_accesses=%d store_accesses=%d",
+			"demoted=%d cache_accesses=%d store_accesses=%d "+
+			"degraded=%d readonly_rejections=%d",
 			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates,
 			st.OutOfOrderUpdates, st.ECubeConversions, st.ECubeConversionsQuery,
 			st.ECubeConversionsAppend, st.ECubeCellsTouched,
 			st.ForcedCopies, st.CopyAheadWork,
-			st.TierDemotions, st.CacheAccesses, st.StoreAccesses), false
+			st.TierDemotions, st.CacheAccesses, st.StoreAccesses,
+			degraded, s.readonlyRejects.Value()), false
 	case "SAVE":
 		if len(fields) != 2 {
 			return "ERR SAVE needs a file path", false
@@ -524,37 +727,23 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			}
 			coords[i] = c
 		}
-		// One root span per mutation; the WAL-bytes delta is taken
-		// under mu, where the op sink's appends are serialised, so the
-		// attribution to this request is exact.
+		if resp := s.badCoord(coords); resp != "" {
+			return resp, false
+		}
+		if resp := s.readOnlyReject(); resp != "" {
+			return resp, false
+		}
 		var root *trace.Span
 		if cmd == "INS" {
 			root = trace.New("histserve.insert")
 		} else {
 			root = trace.New("histserve.delete")
 		}
-		ctx := trace.NewContext(context.Background(), root)
-		s.mu.Lock()
-		var walBefore int64
-		if s.wal != nil {
-			walBefore = s.wal.AppendedBytes()
-		}
-		if cmd == "INS" {
-			err = s.cube.InsertCtx(ctx, nums[0], coords, val)
-		} else {
-			err = s.cube.DeleteCtx(ctx, nums[0], coords, val)
-		}
-		if s.wal != nil {
-			root.Add(trace.WALBytes, s.wal.AppendedBytes()-walBefore)
-		}
-		if err == nil {
-			s.maybeCheckpointLocked()
-		}
-		s.mu.Unlock()
+		err = s.mutate(cmd, root, nums[0], coords, val)
 		root.End()
 		s.observe(line, root)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return errResponse(err), false
 		}
 		return "OK", false
 	case "QRY":
@@ -564,7 +753,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		}
 		v, _, err := s.runQuery(line, rng)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return errResponse(err), false
 		}
 		return strconv.FormatFloat(v, 'g', -1, 64), false
 	case "EXPLAIN":
@@ -577,7 +766,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		}
 		v, root, err := s.runQuery(line, rng)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return errResponse(err), false
 		}
 		var b strings.Builder
 		fmt.Fprintf(&b, "OK result=%s\n", strconv.FormatFloat(v, 'g', -1, 64))
@@ -631,19 +820,194 @@ func (s *server) parseQueryRange(args []string) (core.Range, string) {
 		lo[i] = l
 		hi[i] = h
 	}
+	if resp := s.badCoord(lo); resp != "" {
+		return core.Range{}, resp
+	}
+	if resp := s.badCoord(hi); resp != "" {
+		return core.Range{}, resp
+	}
 	return core.Range{TimeLo: nums[0], TimeHi: nums[1], Lo: lo, Hi: hi}, ""
+}
+
+// badCoord validates parsed coordinates against the cube's domains at
+// the protocol boundary, naming the offending dimension — out-of-range
+// input is a client error and must never reach the storage layer.
+func (s *server) badCoord(coords []int) string {
+	for i, c := range coords {
+		if i < len(s.shape) && (c < 0 || c >= s.shape[i]) {
+			return fmt.Sprintf("ERR bad coordinate d%d: %d outside [0, %d)", i, c, s.shape[i])
+		}
+	}
+	return ""
 }
 
 // runQuery executes one traced range query (shared by QRY and
 // EXPLAIN) and retains the finished trace.
 func (s *server) runQuery(line string, rng core.Range) (float64, *trace.Span, error) {
 	root := trace.New("histserve.query")
-	s.mu.Lock()
-	v, err := s.cube.QueryTraced(root, rng)
-	s.mu.Unlock()
+	v, err := s.queryLocked(root, rng)
 	root.End()
 	s.observe(line, root)
 	return v, root, err
+}
+
+// queryLocked runs the deadline-bounded query under mu (queries mutate
+// shared state; see the locking contract) with the same panic
+// containment as mutate.
+func (s *server) queryLocked(root *trace.Span, rng core.Range) (v float64, err error) {
+	ctx, cancel := s.requestCtx()
+	defer cancel()
+	ctx = trace.NewContext(ctx, root)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.recoveredPanic("QRY", r, root)
+		}
+	}()
+	return s.cube.QueryCtx(ctx, rng)
+}
+
+// mutate runs one INS/DEL under mu. The deferred unlock plus the inner
+// recover keep a panicking cube call from poisoning mu; the panic is
+// logged with the request's span tree and surfaces as ERR internal. A
+// successful mutation doubles as the recovery probe that clears
+// degraded mode; a storage failure (WAL append exhausting its retries,
+// or out-of-space) enters it.
+func (s *server) mutate(cmd string, root *trace.Span, t int64, coords []int, val float64) (err error) {
+	ctx, cancel := s.requestCtx()
+	defer cancel()
+	ctx = trace.NewContext(ctx, root)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.recoveredPanic(cmd, r, root)
+		}
+	}()
+	// The WAL-bytes delta is taken under mu, where the op sink's
+	// appends are serialised, so the attribution to this request is
+	// exact.
+	var walBefore int64
+	if s.wal != nil {
+		walBefore = s.wal.AppendedBytes()
+	}
+	if cmd == "INS" {
+		err = s.cube.InsertCtx(ctx, t, coords, val)
+	} else {
+		err = s.cube.DeleteCtx(ctx, t, coords, val)
+	}
+	if s.wal != nil {
+		root.Add(trace.WALBytes, s.wal.AppendedBytes()-walBefore)
+	}
+	switch {
+	case err == nil:
+		s.maybeCheckpointLocked()
+		s.clearDegraded()
+	case isStorageFailure(err):
+		s.setDegraded(err)
+	}
+	return err
+}
+
+// statsSnapshot reads the cube's counters under mu.
+func (s *server) statsSnapshot() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cube.Stats()
+}
+
+// requestCtx derives the per-request context from -request-timeout.
+func (s *server) requestCtx() (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), s.reqTimeout)
+}
+
+// errResponse renders an error as the protocol's ERR line, giving
+// deadline and cancellation failures a stable prefix clients can match.
+func errResponse(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "ERR timeout: " + err.Error()
+	case errors.Is(err, context.Canceled):
+		return "ERR canceled: " + err.Error()
+	default:
+		return "ERR " + err.Error()
+	}
+}
+
+// recoveredPanic converts a panic caught under mu into an error. It
+// runs inside the deferred recover, before the deferred Unlock, so the
+// mutex is released normally and later requests proceed.
+func (s *server) recoveredPanic(cmd string, r any, root *trace.Span) error {
+	s.panics.Inc()
+	var tree strings.Builder
+	root.Render(&tree)
+	s.log.Error("panic recovered", "cmd", cmd, "panic", fmt.Sprint(r),
+		"trace", tree.String(), "stack", string(debug.Stack()))
+	return fmt.Errorf("%w (%s: %v)", errInternal, cmd, r)
+}
+
+// isStorageFailure classifies errors that mean the durable layer is
+// broken rather than the request: these flip the server read-only
+// instead of just failing one op.
+func isStorageFailure(err error) bool {
+	return errors.Is(err, errWALAppend) || errors.Is(err, syscall.ENOSPC)
+}
+
+// setDegraded enters read-only mode (idempotently): mutations are
+// rejected, queries keep serving, and lastProbeNano starts the probe
+// clock so recovery attempts are rate-limited from now.
+func (s *server) setDegraded(cause error) {
+	s.degradedMsg.Store(cause.Error())
+	s.lastProbeNano.Store(time.Now().UnixNano())
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedFlips.Inc()
+		s.log.Error("entering degraded read-only mode", "cause", cause)
+	}
+}
+
+// clearDegraded leaves read-only mode after a successful mutation
+// proved the storage path works again. A no-op when healthy.
+func (s *server) clearDegraded() {
+	if s.degraded.CompareAndSwap(true, false) {
+		s.log.Info("leaving degraded read-only mode: storage recovered")
+	}
+}
+
+// readOnlyReject gates mutations while degraded. Every -degraded-probe-
+// every interval one mutation passes through as a recovery probe: if
+// it succeeds, mutate clears the flag; if storage is still broken, the
+// probe fails like the original mutation did and the server stays
+// read-only.
+func (s *server) readOnlyReject() string {
+	if !s.degraded.Load() || s.probeDue() {
+		return ""
+	}
+	s.readonlyRejects.Inc()
+	msg, _ := s.degradedMsg.Load().(string)
+	if msg == "" {
+		msg = "storage failure"
+	}
+	return "ERR read-only: mutations disabled after " + msg + " (queries still served; probing for recovery)"
+}
+
+// probeDue claims the next recovery-probe slot: at most one mutation
+// per interval may test whether storage healed. The CAS keeps the
+// claim race-free without taking mu on the reject fast path.
+func (s *server) probeDue() bool {
+	every := s.probeEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	now := time.Now().UnixNano()
+	last := s.lastProbeNano.Load()
+	if now-last < every.Nanoseconds() {
+		return false
+	}
+	return s.lastProbeNano.CompareAndSwap(last, now)
 }
 
 // observe retains one finished request trace: every request enters
@@ -694,6 +1058,9 @@ func (s *server) checkpointNow() string {
 	}
 	lsn, err := s.wal.Checkpoint(s.cube.Save)
 	if err != nil {
+		if isStorageFailure(err) {
+			s.setDegraded(err)
+		}
 		return "ERR " + err.Error()
 	}
 	return fmt.Sprintf("OK %d", lsn)
@@ -729,6 +1096,7 @@ func (s *server) loadSnapshot(path string) error {
 	cube.SetInstruments(s.ins)
 	s.mu.Lock()
 	s.cube = cube
+	s.shape = cube.Shape()
 	s.mu.Unlock()
 	return nil
 }

@@ -18,8 +18,9 @@ import (
 //     op is always in the log. ApplyOp is the deliberate, documented
 //     exception: it is the replay path and bypasses the sink.
 //  2. apply confinement: inside internal/core, only the apply method
-//     itself may call (*appendcube.Cube).Update — every other call
-//     site would mutate historic-slice state behind the sink's back.
+//     itself may call (*appendcube.Cube).Update or UpdateCtx — every
+//     other call site would mutate historic-slice state behind the
+//     sink's back.
 //  3. replay confinement: only WAL recovery (internal/wal) may call
 //     core's ApplyOp; anywhere else it is a sink bypass.
 //  4. facade confinement: cmd/histserve must not import appendcube at
@@ -66,10 +67,10 @@ func runAppendBeforeApply(pass *Pass) error {
 					return true
 				}
 				switch {
-				case inCore && fn.Name() == "Update" && PathHasSuffix(fn.Pkg().Path(), "internal/appendcube"):
+				case inCore && (fn.Name() == "Update" || fn.Name() == "UpdateCtx") && PathHasSuffix(fn.Pkg().Path(), "internal/appendcube"):
 					if fd.Name.Name != "apply" {
 						pass.Reportf(call.Pos(),
-							"appendcube.Cube.Update called outside apply: historic-slice mutations must route through the op-sink path (core.apply)")
+							"appendcube.Cube.%s called outside apply: historic-slice mutations must route through the op-sink path (core.apply)", fn.Name())
 					}
 				case fn.Name() == "ApplyOp" && PathHasSuffix(fn.Pkg().Path(), "internal/core") && !inWal && !inCore:
 					pass.Reportf(call.Pos(),

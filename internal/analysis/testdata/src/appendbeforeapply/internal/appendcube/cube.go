@@ -12,3 +12,14 @@ func (c *Cube) Update(i int, v float64) {
 	}
 	c.cells[i] += v
 }
+
+// UpdateCtx is the context-aware variant; it is confined to core's
+// apply exactly like Update.
+func (c *Cube) UpdateCtx(done <-chan struct{}, i int, v float64) {
+	select {
+	case <-done:
+		return
+	default:
+	}
+	c.Update(i, v)
+}

@@ -25,6 +25,7 @@ func (c *Cube) logOp(op Op) error {
 
 func (c *Cube) apply(op Op) {
 	c.inner.Update(op.Cell, op.Value)
+	c.inner.UpdateCtx(nil, op.Cell, 0)
 }
 
 func (c *Cube) applyDelta(op Op, scale float64) {
@@ -66,5 +67,11 @@ func (c *Cube) ApplyOp(op Op) error {
 func (c *Cube) Rebuild(ops []Op) {
 	for _, op := range ops {
 		c.inner.Update(op.Cell, op.Value) // want `appendcube\.Cube\.Update called outside apply`
+	}
+}
+
+func (c *Cube) RebuildCtx(done <-chan struct{}, ops []Op) {
+	for _, op := range ops {
+		c.inner.UpdateCtx(done, op.Cell, op.Value) // want `appendcube\.Cube\.UpdateCtx called outside apply`
 	}
 }

@@ -14,6 +14,7 @@
 package appendcube
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -233,6 +234,18 @@ func (c *Cube) moveTS(off int, to int32) {
 // implements the complete algorithm of Fig. 8: forced lazy copies for
 // overwritten cache cells, then copy-ahead within the work budget.
 func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, error) {
+	return c.UpdateCtx(context.Background(), timeVal, x, delta)
+}
+
+// UpdateCtx is Update with a context that bounds only the amortised
+// background work: once the mutation itself (steps 1-3 of Fig. 8) has
+// started it always completes — the op is already in the WAL, and
+// aborting between log and apply would diverge the log from the state
+// — but the copy-ahead loop of step 4 stops early when the context is
+// done. Copy-ahead is pure amortisation: stopping it early never loses
+// data, it only shifts copy work to later updates, so the early stop
+// is silent (no error).
+func (c *Cube) UpdateCtx(ctx context.Context, timeVal int64, x []int, delta float64) (UpdateResult, error) {
 	var res UpdateResult
 	if !c.shape.Contains(x) {
 		return res, fmt.Errorf("appendcube: update coordinate %v outside slice shape %v", x, c.shape)
@@ -306,9 +319,9 @@ func (c *Cube) Update(timeVal int64, x []int, delta float64) (UpdateResult, erro
 	c.totalUpdates++
 	c.sliceUpds++
 	if _, disk := c.store.(*DiskStore); disk {
-		res.CopyAhead, err = c.copyAheadPages()
+		res.CopyAhead, err = c.copyAheadPages(ctx)
 	} else if budget := c.budget(); budget > 0 {
-		res.CopyAhead, err = c.copyAheadCells(res.CacheCells+res.ForcedCopies, budget)
+		res.CopyAhead, err = c.copyAheadCells(ctx, res.CacheCells+res.ForcedCopies, budget)
 	}
 	if err != nil {
 		return res, err
@@ -365,14 +378,38 @@ func (c *Cube) budget() int {
 	return int((2+backlog)*base) + 8
 }
 
+// copyAheadDone reports whether the copy-ahead loop should stop
+// because the request's context is done (done == nil, the Background
+// case, short-circuits to one comparison). A done context stops the
+// loop without error: copy-ahead is amortisation, not correctness, so
+// a request running out of deadline simply leaves the remaining copy
+// work to later updates.
+func copyAheadDone(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // copyAheadCells is the in-memory policy of Fig. 8 step 4: while the
 // operation's total cost is below the budget, copy the value of the
 // cursor cell one slice ahead, or advance the cursor if the cell is
 // current. Cursor advances count as work (one cache inspection).
-func (c *Cube) copyAheadCells(used, budget int) (int, error) {
+func (c *Cube) copyAheadCells(ctx context.Context, used, budget int) (int, error) {
 	latest := int32(c.dir.Len() - 1)
+	done := ctx.Done()
 	work := 0
 	for used+work < budget && c.minTS < int(latest) {
+		// Poll every 64 cell steps; each step is a handful of memory
+		// accesses, so a finer poll would dominate the loop.
+		if work&63 == 0 && copyAheadDone(done) {
+			return work, nil
+		}
 		cell := &c.cache[c.z]
 		c.CacheAccesses++
 		work++
@@ -395,13 +432,16 @@ func (c *Cube) copyAheadCells(used, budget int) (int, error) {
 // CopyPages pages of the oldest incomplete slice per update. One page
 // write moves up to CellsPerPage cells (2048 for 8 KiB pages), which
 // the paper found keeps at most one historic instance incomplete.
-func (c *Cube) copyAheadPages() (int, error) {
+func (c *Cube) copyAheadPages(ctx context.Context) (int, error) {
 	ds := c.store.(*DiskStore)
 	latest := c.dir.Len() - 1
+	done := ctx.Done()
 	work := 0
 	for page := 0; page < c.copyPages; page++ {
 		s := c.minTS
-		if s >= latest {
+		// Poll per page: one iteration moves up to a whole page of
+		// cells (2048 at the default page size).
+		if s >= latest || copyAheadDone(done) {
 			return work, nil
 		}
 		per := ds.CellsPerPage()
@@ -508,6 +548,16 @@ func (c *Cube) Query(timeLo, timeHi int64, box dims.Box) (float64, error) {
 // lookup result and the consulted instance's cost counters. A nil
 // span records nothing and costs a few branches.
 func (c *Cube) QueryTraced(sp *trace.Span, timeLo, timeHi int64, box dims.Box) (float64, error) {
+	return c.QueryCtx(context.Background(), sp, timeLo, timeHi, box)
+}
+
+// QueryCtx is QueryTraced with cooperative cancellation: the eCube
+// evaluations under it poll ctx and abandon the query (returning ctx's
+// error) once it is done. Queries are read-mostly — the only state
+// they write is the DDC->PS convergence, which the engine refuses to
+// persist for abandoned evaluations — so cancelling one is always
+// safe.
+func (c *Cube) QueryCtx(ctx context.Context, sp *trace.Span, timeLo, timeHi int64, box dims.Box) (float64, error) {
 	if err := box.Validate(c.shape); err != nil {
 		return 0, err
 	}
@@ -517,7 +567,7 @@ func (c *Cube) QueryTraced(sp *trace.Span, timeLo, timeHi int64, box dims.Box) (
 	if c.dir.Len() == 0 {
 		return 0, nil
 	}
-	qu, err := c.prefixTimeQuery(sp, timeHi, box)
+	qu, err := c.prefixTimeQuery(ctx, sp, timeHi, box)
 	if err != nil {
 		return 0, err
 	}
@@ -525,7 +575,7 @@ func (c *Cube) QueryTraced(sp *trace.Span, timeLo, timeHi int64, box dims.Box) (
 		// timeLo-1 would wrap around; nothing precedes the range.
 		return qu, nil
 	}
-	ql, err := c.prefixTimeQuery(sp, timeLo-1, box)
+	ql, err := c.prefixTimeQuery(ctx, sp, timeLo-1, box)
 	if err != nil {
 		return 0, err
 	}
@@ -539,10 +589,10 @@ func (c *Cube) PrefixTimeQuery(t int64, box dims.Box) (float64, error) {
 	if err := box.Validate(c.shape); err != nil {
 		return 0, err
 	}
-	return c.prefixTimeQuery(nil, t, box)
+	return c.prefixTimeQuery(context.Background(), nil, t, box)
 }
 
-func (c *Cube) prefixTimeQuery(sp *trace.Span, t int64, box dims.Box) (float64, error) {
+func (c *Cube) prefixTimeQuery(ctx context.Context, sp *trace.Span, t int64, box dims.Box) (float64, error) {
 	ps := sp.StartChild("histcube.prefix")
 	defer ps.End()
 	ps.SetInt("t", t)
@@ -553,14 +603,14 @@ func (c *Cube) prefixTimeQuery(sp *trace.Span, t int64, box dims.Box) (float64, 
 		return 0, nil
 	}
 	ps.SetInt("slice", int64(idx))
-	return c.sliceQuery(ps, idx, box)
+	return c.sliceQuery(ctx, ps, idx, box)
 }
 
 // SliceQuery aggregates the box over the cumulative slice with index
 // s. The latest slice is answered by the DDC algorithm on cache;
 // historic slices by the eCube algorithm over the store.
 func (c *Cube) SliceQuery(s int, box dims.Box) (float64, error) {
-	return c.sliceQuery(nil, s, box)
+	return c.sliceQuery(context.Background(), nil, s, box)
 }
 
 // sliceQuery runs one instance query, attributing its cost to a
@@ -569,7 +619,7 @@ func (c *Cube) SliceQuery(s int, box dims.Box) (float64, error) {
 // and — for disk-backed stores — pager read/write deltas. The deltas
 // are exact because the cube serialises all calls (the server's
 // single-mutex contract).
-func (c *Cube) sliceQuery(sp *trace.Span, s int, box dims.Box) (float64, error) {
+func (c *Cube) sliceQuery(ctx context.Context, sp *trace.Span, s int, box dims.Box) (float64, error) {
 	if s < 0 || s >= c.dir.Len() {
 		return 0, fmt.Errorf("appendcube: slice index %d out of range [0, %d)", s, c.dir.Len())
 	}
@@ -591,7 +641,7 @@ func (c *Cube) sliceQuery(sp *trace.Span, s int, box dims.Box) (float64, error) 
 		return v, nil
 	}
 	if sp == nil {
-		return c.engine.Range(sliceView{c: c, s: s}, box)
+		return c.engine.RangeCtx(ctx, nil, sliceView{c: c, s: s}, box)
 	}
 	qs := sp.StartChild("histcube.slice_query")
 	qs.SetInt("slice", int64(s))
@@ -604,7 +654,7 @@ func (c *Cube) sliceQuery(sp *trace.Span, s int, box dims.Box) (float64, error) 
 	if pg != nil {
 		readsBefore, writesBefore = pg.Reads, pg.Writes
 	}
-	v, err := c.engine.RangeTraced(qs, sliceView{c: c, s: s}, box)
+	v, err := c.engine.RangeCtx(ctx, qs, sliceView{c: c, s: s}, box)
 	qs.Add(trace.CacheAccesses, c.CacheAccesses-cacheBefore)
 	qs.Add(trace.StoreAccesses, c.store.Accesses()-storeBefore)
 	if pg != nil {

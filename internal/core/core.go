@@ -243,52 +243,76 @@ func (c *Cube) Shape() []int { return append([]int(nil), c.shape...) }
 // buffered when configured, rejected with appendcube.ErrOutOfOrder
 // otherwise.
 func (c *Cube) Insert(t int64, coords []int, v float64) error {
-	return c.insertTraced(nil, t, coords, v)
+	return c.insertTraced(context.Background(), nil, t, coords, v)
 }
 
-// InsertCtx is Insert with request-scoped tracing: when ctx carries a
-// trace span (trace.NewContext), the insert records a histcube.insert
-// child span with its cache/copy cost counters. A bare context costs
-// one branch.
+// InsertCtx is Insert with request scoping: when ctx carries a trace
+// span (trace.NewContext), the insert records a histcube.insert child
+// span with its cache/copy cost counters; when ctx has a deadline, it
+// is checked once *before* the op is logged (a mutation is atomic with
+// respect to cancellation — once it reaches the WAL it always
+// completes, because aborting between log and apply would diverge the
+// log from the state) and then bounds only the amortised copy-ahead
+// work. A bare context costs one branch.
 func (c *Cube) InsertCtx(ctx context.Context, t int64, coords []int, v float64) error {
-	return c.insertTraced(trace.FromContext(ctx), t, coords, v)
+	return c.insertTraced(ctx, trace.FromContext(ctx), t, coords, v)
 }
 
-func (c *Cube) insertTraced(sp *trace.Span, t int64, coords []int, v float64) error {
+// ctxErr is the single pre-log cancellation check of the mutation
+// paths. The ctx.Done() == nil fast path keeps the Background case at
+// one comparison, preserving the trace-overhead guarantee.
+func ctxErr(ctx context.Context, what string) error {
+	if ctx.Done() == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s canceled before logging: %w", what, err)
+	}
+	return nil
+}
+
+func (c *Cube) insertTraced(ctx context.Context, sp *trace.Span, t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Insert).ObserveDuration()
 	}
 	op := sp.StartChild("histcube.insert")
 	defer op.End()
+	if err := ctxErr(ctx, "insert"); err != nil {
+		return err
+	}
 	if err := c.logOp(Op{Kind: OpInsert, Time: t, Coords: coords, Value: v}); err != nil {
 		return err
 	}
 	val := agg.Point(c.cfg.Operator, v)
-	return c.apply(op, t, coords, val)
+	return c.apply(ctx, op, t, coords, val)
 }
 
 // Delete removes a previously inserted point by applying the inverse
 // contribution — the paper's translation of deletes into updates.
 func (c *Cube) Delete(t int64, coords []int, v float64) error {
-	return c.deleteTraced(nil, t, coords, v)
+	return c.deleteTraced(context.Background(), nil, t, coords, v)
 }
 
-// DeleteCtx is Delete with request-scoped tracing (see InsertCtx).
+// DeleteCtx is Delete with request scoping (see InsertCtx for the
+// cancellation contract).
 func (c *Cube) DeleteCtx(ctx context.Context, t int64, coords []int, v float64) error {
-	return c.deleteTraced(trace.FromContext(ctx), t, coords, v)
+	return c.deleteTraced(ctx, trace.FromContext(ctx), t, coords, v)
 }
 
-func (c *Cube) deleteTraced(sp *trace.Span, t int64, coords []int, v float64) error {
+func (c *Cube) deleteTraced(ctx context.Context, sp *trace.Span, t int64, coords []int, v float64) error {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Delete).ObserveDuration()
 	}
 	op := sp.StartChild("histcube.delete")
 	defer op.End()
+	if err := ctxErr(ctx, "delete"); err != nil {
+		return err
+	}
 	if err := c.logOp(Op{Kind: OpDelete, Time: t, Coords: coords, Value: v}); err != nil {
 		return err
 	}
 	val := agg.Point(c.cfg.Operator, v).Neg()
-	return c.apply(op, t, coords, val)
+	return c.apply(ctx, op, t, coords, val)
 }
 
 // AddDelta adjusts the raw sum component directly (SUM cubes only):
@@ -304,16 +328,16 @@ func (c *Cube) applyDelta(sp *trace.Span, t int64, coords []int, delta float64) 
 	if c.cfg.Operator != agg.Sum {
 		return fmt.Errorf("core: AddDelta requires the SUM operator, cube uses %s", c.cfg.Operator)
 	}
-	return c.apply(sp, t, coords, agg.Value{Sum: delta})
+	return c.apply(context.Background(), sp, t, coords, agg.Value{Sum: delta})
 }
 
-func (c *Cube) apply(sp *trace.Span, t int64, coords []int, val agg.Value) error {
+func (c *Cube) apply(ctx context.Context, sp *trace.Span, t int64, coords []int, val agg.Value) error {
 	// Attribute any eCube conversions this append causes to the append
 	// trigger (none today — appends never run the eCube algorithm —
 	// but measured, not assumed).
 	convBefore := c.engineConversions()
 	defer func() { c.convAppend += c.engineConversions() - convBefore }()
-	res, err := c.sum.Update(t, coords, val.Sum)
+	res, err := c.sum.UpdateCtx(ctx, t, coords, val.Sum)
 	switch {
 	case err == nil:
 		c.lastRes = res
@@ -325,7 +349,7 @@ func (c *Cube) apply(sp *trace.Span, t int64, coords []int, val agg.Value) error
 			sp.SetBool("new_slice", true)
 		}
 		if c.cnt != nil {
-			if _, err := c.cnt.Update(t, coords, val.Count); err != nil {
+			if _, err := c.cnt.UpdateCtx(ctx, t, coords, val.Count); err != nil {
 				return err
 			}
 		}
@@ -359,17 +383,23 @@ func (c *Cube) Query(r Range) (float64, error) {
 	return c.QueryTraced(nil, r)
 }
 
-// QueryCtx is Query with request-scoped tracing: when ctx carries a
-// trace span, the query attributes its full cost breakdown — the two
+// QueryCtx is Query with request scoping: when ctx carries a trace
+// span, the query attributes its full cost breakdown — the two
 // framework prefix queries, cells touched, DDC->PS conversions,
 // instances consulted, store and pager I/O — to a histcube.query
-// child span. A bare context costs one branch.
+// child span; when ctx has a deadline, the eCube evaluation polls it
+// and abandons the query with ctx's error. A bare context costs one
+// branch.
 func (c *Cube) QueryCtx(ctx context.Context, r Range) (float64, error) {
-	return c.QueryTraced(trace.FromContext(ctx), r)
+	return c.queryCtxTraced(ctx, trace.FromContext(ctx), r)
 }
 
 // QueryTraced is QueryCtx for callers that already hold the span.
 func (c *Cube) QueryTraced(sp *trace.Span, r Range) (float64, error) {
+	return c.queryCtxTraced(context.Background(), sp, r)
+}
+
+func (c *Cube) queryCtxTraced(ctx context.Context, sp *trace.Span, r Range) (float64, error) {
 	if c.ins != nil {
 		defer obs.NewTimer(c.ins.Query).ObserveDuration()
 	}
@@ -377,30 +407,30 @@ func (c *Cube) QueryTraced(sp *trace.Span, r Range) (float64, error) {
 	defer q.End()
 	q.SetInt("time_lo", r.TimeLo)
 	q.SetInt("time_hi", r.TimeHi)
-	v, err := c.partial(q, r)
+	v, err := c.partial(ctx, q, r)
 	if err != nil {
 		return 0, err
 	}
 	return agg.Finalize(c.cfg.Operator, v), nil
 }
 
-func (c *Cube) partial(sp *trace.Span, r Range) (agg.Value, error) {
+func (c *Cube) partial(ctx context.Context, sp *trace.Span, r Range) (agg.Value, error) {
 	convBefore := c.engineConversions()
-	out, err := c.partialInner(sp, r)
+	out, err := c.partialInner(ctx, sp, r)
 	c.convQuery += c.engineConversions() - convBefore
 	return out, err
 }
 
-func (c *Cube) partialInner(sp *trace.Span, r Range) (agg.Value, error) {
+func (c *Cube) partialInner(ctx context.Context, sp *trace.Span, r Range) (agg.Value, error) {
 	box := dims.Box{Lo: r.Lo, Hi: r.Hi}
-	s, err := c.sum.QueryTraced(sp, r.TimeLo, r.TimeHi, box)
+	s, err := c.sum.QueryCtx(ctx, sp, r.TimeLo, r.TimeHi, box)
 	if err != nil {
 		return agg.Value{}, err
 	}
 	out := agg.Value{Sum: s, Count: s}
 	if c.cnt != nil {
 		cq := sp.StartChild("histcube.count_cube")
-		n, err := c.cnt.QueryTraced(cq, r.TimeLo, r.TimeHi, box)
+		n, err := c.cnt.QueryCtx(ctx, cq, r.TimeLo, r.TimeHi, box)
 		cq.End()
 		if err != nil {
 			return agg.Value{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"histcube/internal/agg"
@@ -71,9 +72,9 @@ func (c *Cube) logOp(op Op) error {
 func (c *Cube) ApplyOp(op Op) error {
 	switch op.Kind {
 	case OpInsert:
-		return c.apply(nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value))
+		return c.apply(context.Background(), nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value))
 	case OpDelete:
-		return c.apply(nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value).Neg())
+		return c.apply(context.Background(), nil, op.Time, op.Coords, agg.Point(c.cfg.Operator, op.Value).Neg())
 	case OpAddDelta:
 		return c.applyDelta(nil, op.Time, op.Coords, op.Value)
 	default:

@@ -15,6 +15,8 @@
 package ecube
 
 import (
+	"context"
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 
@@ -102,11 +104,32 @@ func (en *Engine) PrefixTraced(sp *trace.Span, cs CellStore, x []int) float64 {
 	if !en.shape.Contains(x) {
 		panic("ecube: prefix coordinate outside shape")
 	}
-	ctx := evalCtx{}
+	v, _ := en.prefixEval(context.Background(), sp, cs, x)
+	return v
+}
+
+// PrefixCtx is PrefixTraced with cooperative cancellation: the
+// recursion polls ctx every 64 cell loads and abandons the evaluation
+// with ctx's error once it is done. An out-of-shape coordinate is
+// reported as an error rather than a panic — PrefixCtx is the
+// server-facing entry point, and a malformed request must not take the
+// process down.
+func (en *Engine) PrefixCtx(ctx context.Context, sp *trace.Span, cs CellStore, x []int) (float64, error) {
+	if !en.shape.Contains(x) {
+		return 0, fmt.Errorf("ecube: prefix coordinate %v outside shape %v", x, en.shape)
+	}
+	return en.prefixEval(ctx, sp, cs, x)
+}
+
+func (en *Engine) prefixEval(cctx context.Context, sp *trace.Span, cs CellStore, x []int) (float64, error) {
+	ctx := evalCtx{done: cctx.Done(), cctx: cctx}
 	v := en.prefixRec(cs, x, &ctx)
 	sp.Add(trace.CellsTouched, int64(ctx.loads))
 	sp.Add(trace.Conversions, int64(ctx.converts))
-	return v
+	if ctx.err != nil {
+		return 0, ctx.err
+	}
+	return v, nil
 }
 
 // evalCtx carries per-evaluation state: PS values the store declined
@@ -114,13 +137,24 @@ func (en *Engine) PrefixTraced(sp *trace.Span, cs CellStore, x []int) float64 {
 // bound (the map is allocated on the first declined StorePS only),
 // plus the evaluation's own load/conversion counts so a trace span can
 // attribute cost to one request without reading the shared atomics.
+// done/cctx/err implement cooperative cancellation: done is polled
+// every 64 loads (nil when the context cannot be canceled, which
+// short-circuits the poll to one comparison), and once err is set the
+// whole recursion unwinds without touching further cells and without
+// persisting any value computed from the abandoned subtree.
 type evalCtx struct {
 	memo     map[int]float64
 	loads    int
 	converts int
+	done     <-chan struct{}
+	cctx     context.Context
+	err      error
 }
 
 func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
+	if ctx.err != nil {
+		return 0
+	}
 	off := 0
 	for i, c := range x {
 		off += c * en.strides[i]
@@ -130,6 +164,14 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 	}
 	en.loads.Add(1)
 	ctx.loads++
+	if ctx.done != nil && ctx.loads&63 == 0 {
+		select {
+		case <-ctx.done:
+			ctx.err = fmt.Errorf("ecube: query canceled after %d cell loads: %w", ctx.loads, ctx.cctx.Err())
+			return 0
+		default:
+		}
+	}
 	val, ps := cs.Load(off)
 	if ps {
 		return val
@@ -162,6 +204,12 @@ func (en *Engine) prefixRec(cs CellStore, x []int, ctx *evalCtx) float64 {
 			val -= en.prefixRec(cs, sub, ctx)
 		}
 	}
+	if ctx.err != nil {
+		// The evaluation was abandoned somewhere in the subtree: val is
+		// a partial sum. Persisting (or even memoising) it would plant a
+		// wrong PS value in the cube, so drop it on the floor.
+		return 0
+	}
 	if cs.StorePS(off, val) {
 		en.converts.Add(1)
 		ctx.converts++
@@ -187,13 +235,21 @@ func (en *Engine) Range(cs CellStore, b dims.Box) (float64, error) {
 // recorded CellsTouched falls from the (2 log2 N)^(d-1) DDC bound to
 // the 2^(d-1) corner count — Figures 10/11, observable per query.
 func (en *Engine) RangeTraced(sp *trace.Span, cs CellStore, b dims.Box) (float64, error) {
+	return en.RangeCtx(context.Background(), sp, cs, b)
+}
+
+// RangeCtx is RangeTraced with cooperative cancellation: the corner
+// prefix evaluations share one evalCtx, whose done channel is polled
+// every 64 cell loads. On cancellation the query returns ctx's error;
+// no partially computed PS value is persisted.
+func (en *Engine) RangeCtx(cctx context.Context, sp *trace.Span, cs CellStore, b dims.Box) (float64, error) {
 	if err := b.Validate(en.shape); err != nil {
 		return 0, err
 	}
 	d := len(en.shape)
 	corner := make([]int, d)
 	total := 0.0
-	ctx := &evalCtx{}
+	ctx := &evalCtx{done: cctx.Done(), cctx: cctx}
 	for mask := 0; mask < 1<<uint(d); mask++ {
 		feasible := true
 		for i := 0; i < d; i++ {
@@ -216,9 +272,15 @@ func (en *Engine) RangeTraced(sp *trace.Span, cs CellStore, b dims.Box) (float64
 		} else {
 			total -= p
 		}
+		if ctx.err != nil {
+			break
+		}
 	}
 	sp.Add(trace.CellsTouched, int64(ctx.loads))
 	sp.Add(trace.Conversions, int64(ctx.converts))
+	if ctx.err != nil {
+		return 0, ctx.err
+	}
 	return total, nil
 }
 

@@ -13,9 +13,13 @@ package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
+
+	"histcube/internal/retry"
 )
 
 // DefaultPageSize is the page size used throughout the paper's
@@ -111,11 +115,19 @@ func OpenFileBackend(path string, pageSize int) (*FileBackend, error) {
 	return &FileBackend{f: f, size: pageSize}, nil
 }
 
-// Load implements Backend; reads past EOF yield zero pages.
+// Load implements Backend; reads past EOF yield zero pages. Only EOF
+// is tolerated — a page that was never written reads as zero by
+// design, but any other read error (a failing disk, a closed file)
+// propagates instead of being silently zero-filled, which would turn
+// an I/O fault into wrong query answers.
 func (b *FileBackend) Load(id int, buf []byte) error {
 	n, err := b.f.ReadAt(buf, int64(id)*int64(b.size))
-	if err != nil && n < len(buf) {
-		// Short read or EOF: remainder is zero.
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			return fmt.Errorf("pager: loading page %d: %w", id, err)
+		}
+		// Short read at EOF: the remainder was never stored, so it is
+		// zero.
 		for i := n; i < len(buf); i++ {
 			buf[i] = 0
 		}
@@ -253,6 +265,44 @@ func (p *Pager) Close() error {
 	}
 	return p.backend.Close()
 }
+
+// RetryBackend wraps a Backend with bounded retry for transient I/O
+// errors. Load, Store and Sync are retried under the policy; Close is
+// not (a failed close is reported once — retrying it risks
+// double-closing the underlying file). Permanent conditions (ENOSPC,
+// canceled requests, retry.Permanent) fail fast, so a full disk
+// surfaces immediately and the degradation machinery above can react.
+type RetryBackend struct {
+	inner  Backend
+	policy retry.Policy
+}
+
+// NewRetryBackend wraps inner with the policy. A zero-value policy is
+// replaced by retry.Default().
+func NewRetryBackend(inner Backend, policy retry.Policy) *RetryBackend {
+	if policy.Attempts == 0 {
+		policy = retry.Default()
+	}
+	return &RetryBackend{inner: inner, policy: policy}
+}
+
+// Load implements Backend with retry.
+func (r *RetryBackend) Load(id int, buf []byte) error {
+	return r.policy.Do("pager.load", func() error { return r.inner.Load(id, buf) })
+}
+
+// Store implements Backend with retry.
+func (r *RetryBackend) Store(id int, buf []byte) error {
+	return r.policy.Do("pager.store", func() error { return r.inner.Store(id, buf) })
+}
+
+// Sync implements Backend with retry.
+func (r *RetryBackend) Sync() error {
+	return r.policy.Do("pager.sync", r.inner.Sync)
+}
+
+// Close implements Backend; it delegates without retry.
+func (r *RetryBackend) Close() error { return r.inner.Close() }
 
 // IOs returns Reads+Writes, the total page access count.
 func (p *Pager) IOs() int64 { return p.Reads + p.Writes }

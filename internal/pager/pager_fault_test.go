@@ -1,0 +1,204 @@
+package pager_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"histcube/internal/fault"
+	"histcube/internal/pager"
+	"histcube/internal/retry"
+)
+
+// TestFileBackendLoadPastEOF pins the designed behaviour: pages never
+// stored read as zero, including a page that straddles EOF.
+func TestFileBackendLoadPastEOF(t *testing.T) {
+	b, err := pager.NewFileBackend(filepath.Join(t.TempDir(), "pages"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Store(0, []byte("01234567")); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("xxxxxxxx")
+	if err := b.Load(5, buf); err != nil {
+		t.Fatalf("load past EOF: %v", err)
+	}
+	if string(buf) != "\x00\x00\x00\x00\x00\x00\x00\x00" {
+		t.Fatalf("page past EOF = %q, want zeros", buf)
+	}
+}
+
+// TestFileBackendLoadPropagatesRealErrors is the regression test for
+// the bug where every read error was zero-filled and reported as
+// success: a Load against a closed file must fail, not silently return
+// a zero page.
+func TestFileBackendLoadPropagatesRealErrors(t *testing.T) {
+	b, err := pager.NewFileBackend(filepath.Join(t.TempDir(), "pages"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(0, []byte("01234567")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	err = b.Load(0, buf)
+	if err == nil {
+		t.Fatal("Load on a closed file reported success")
+	}
+	if !strings.Contains(err.Error(), "loading page 0") {
+		t.Fatalf("error %v should name the page", err)
+	}
+}
+
+// TestFileBackendErrorPropagation drives Store, Sync and Close through
+// their failure paths against a closed file.
+func TestFileBackendErrorPropagation(t *testing.T) {
+	b, err := pager.NewFileBackend(filepath.Join(t.TempDir(), "pages"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(0, make([]byte, 8)); err == nil {
+		t.Error("Store on a closed file reported success")
+	}
+	if err := b.Sync(); err == nil {
+		t.Error("Sync on a closed file reported success")
+	}
+	if err := b.Close(); err == nil {
+		t.Error("second Close reported success")
+	}
+}
+
+// TestPagerSurfacesBackendFaults runs a Pager over an injected-fault
+// backend and checks the error reaches cell reads instead of being
+// absorbed into a zero page.
+func TestPagerSurfacesBackendFaults(t *testing.T) {
+	inj := fault.MustParse("pager.load:err@2", 1)
+	b := inj.WrapBackend("pager", pager.NewMemBackend(64))
+	p, err := pager.New(b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteCell(0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	// Pin page 0 (load op 1), then force an eviction to page 1 so the
+	// second load hits the injected fault.
+	if _, err := p.ReadCell(0); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := p.ReadCell(100); err == nil {
+		t.Fatal("faulted page load should surface from ReadCell")
+	}
+}
+
+// noSleepPolicy is retry.Default with sleeps recorded instead of taken.
+func noSleepPolicy(slept *[]time.Duration) retry.Policy {
+	p := retry.Default()
+	p.Sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return p
+}
+
+// flakyBackend fails the first failures calls to each op, then
+// delegates to a MemBackend.
+type flakyBackend struct {
+	inner    *pager.MemBackend
+	failures int
+	calls    int
+	err      error
+}
+
+func (f *flakyBackend) op() error {
+	f.calls++
+	if f.calls <= f.failures {
+		return f.err
+	}
+	return nil
+}
+
+func (f *flakyBackend) Load(id int, buf []byte) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Load(id, buf)
+}
+
+func (f *flakyBackend) Store(id int, buf []byte) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Store(id, buf)
+}
+
+func (f *flakyBackend) Sync() error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *flakyBackend) Close() error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}
+
+func TestRetryBackendAbsorbsTransientFaults(t *testing.T) {
+	var slept []time.Duration
+	fb := &flakyBackend{inner: pager.NewMemBackend(8), failures: 2, err: errors.New("transient I/O")}
+	rb := pager.NewRetryBackend(fb, noSleepPolicy(&slept))
+	if err := rb.Store(0, make([]byte, 8)); err != nil {
+		t.Fatalf("Store should succeed on the third attempt: %v", err)
+	}
+	if fb.calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 calls and 2 backoffs", fb.calls, len(slept))
+	}
+}
+
+func TestRetryBackendFailsFastOnENOSPC(t *testing.T) {
+	var slept []time.Duration
+	fb := &flakyBackend{inner: pager.NewMemBackend(8), failures: 10, err: syscall.ENOSPC}
+	rb := pager.NewRetryBackend(fb, noSleepPolicy(&slept))
+	err := rb.Store(0, make([]byte, 8))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Store = %v, want ENOSPC", err)
+	}
+	if fb.calls != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d sleeps=%d: a full disk must not be retried", fb.calls, len(slept))
+	}
+}
+
+func TestRetryBackendExhaustsAttempts(t *testing.T) {
+	var slept []time.Duration
+	base := errors.New("stuck")
+	fb := &flakyBackend{inner: pager.NewMemBackend(8), failures: 10, err: base}
+	rb := pager.NewRetryBackend(fb, noSleepPolicy(&slept))
+	if err := rb.Load(0, make([]byte, 8)); !errors.Is(err, base) {
+		t.Fatalf("Load = %v, want the underlying error after exhaustion", err)
+	}
+	if fb.calls != 3 {
+		t.Fatalf("calls = %d, want the default 3 attempts", fb.calls)
+	}
+}
+
+func TestRetryBackendCloseIsNotRetried(t *testing.T) {
+	fb := &flakyBackend{inner: pager.NewMemBackend(8), failures: 1, err: errors.New("close failed")}
+	rb := pager.NewRetryBackend(fb, retry.Policy{Attempts: 5})
+	if err := rb.Close(); err == nil {
+		t.Fatal("Close error should propagate")
+	}
+	if fb.calls != 1 {
+		t.Fatalf("calls = %d, Close must not be retried", fb.calls)
+	}
+}

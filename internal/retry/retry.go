@@ -1,0 +1,139 @@
+// Package retry provides bounded retry with exponential backoff and
+// jitter for transient storage errors. The pager and WAL layers use it
+// so a single flaky write does not bubble up as a failed request, while
+// permanent conditions (out of space, canceled requests, errors marked
+// with Permanent) fail fast instead of burning the backoff budget.
+//
+// The package is deliberately tiny and dependency-free: a Policy value
+// is copyable configuration, Do is the only loop, and both the sleep
+// and the jitter source are injectable so tests run deterministically
+// with no wall-clock time.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"syscall"
+	"time"
+)
+
+// Policy bounds a retry loop: up to Attempts tries with exponential
+// backoff starting at Base, capped at Max, with multiplicative jitter.
+// The zero value performs exactly one attempt (no retry).
+type Policy struct {
+	// Attempts is the total number of tries (first call included);
+	// values below 1 mean a single attempt.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	// 0 selects 1ms.
+	Base time.Duration
+	// Max caps the per-retry delay; 0 leaves it uncapped.
+	Max time.Duration
+	// Jitter spreads each delay multiplicatively over
+	// [1-Jitter/2, 1+Jitter/2); 0 disables jitter.
+	Jitter float64
+	// Sleep replaces time.Sleep (tests pass a recorder).
+	Sleep func(time.Duration)
+	// Rand replaces the jitter source, which must yield values in
+	// [0, 1); nil selects math/rand.Float64.
+	Rand func() float64
+	// OnRetry, when non-nil, observes every retry (not the first
+	// attempt) before its backoff sleep — the hook metrics counters and
+	// logs attach to.
+	OnRetry func(label string, attempt int, err error)
+}
+
+// Default returns the policy the storage layers use when the caller
+// does not override it: 3 attempts, 1ms base, 50ms cap, 50% jitter.
+func Default() Policy {
+	return Policy{Attempts: 3, Base: time.Millisecond, Max: 50 * time.Millisecond, Jitter: 0.5}
+}
+
+// Do runs fn until it succeeds, permanently fails, or the attempt
+// budget is spent; it returns fn's last error. The label names the
+// operation for OnRetry observers.
+func (p Policy) Do(label string, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= attempts || IsPermanent(err) {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(label, attempt, err)
+		}
+		p.sleep(p.backoff(attempt))
+	}
+}
+
+func (p Policy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff computes the delay after the attempt-th failed try:
+// Base·2^(attempt-1), capped at Max, jittered.
+func (p Policy) backoff(attempt int) time.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		r := rand.Float64()
+		if p.Rand != nil {
+			r = p.Rand()
+		}
+		d = time.Duration(float64(d) * (1 - p.Jitter/2 + p.Jitter*r))
+	}
+	return d
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as non-retryable: Do returns it immediately
+// without consuming further attempts. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err should not be retried: errors marked
+// with Permanent, out-of-space conditions (syscall.ENOSPC — a full
+// disk does not drain between attempts), and request cancellation
+// (context errors — the deadline stays exceeded).
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,146 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// noSleep returns a policy whose sleeps are recorded, not taken.
+func noSleep(p Policy, slept *[]time.Duration) Policy {
+	p.Sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return p
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	var slept []time.Duration
+	p := noSleep(Default(), &slept)
+	calls := 0
+	if err := p.Do("op", func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d slept=%v, want 1 call and no sleeps", calls, slept)
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	var slept []time.Duration
+	var retries []int
+	p := noSleep(Policy{Attempts: 5, Base: time.Millisecond, Jitter: 0}, &slept)
+	p.OnRetry = func(label string, attempt int, err error) {
+		if label != "op" {
+			t.Errorf("label = %q, want op", label)
+		}
+		retries = append(retries, attempt)
+	}
+	calls := 0
+	err := p.Do("op", func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept = %v, want %v (exponential doubling)", slept, want)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var slept []time.Duration
+	p := noSleep(Policy{Attempts: 3, Base: time.Millisecond}, &slept)
+	calls := 0
+	last := errors.New("still failing")
+	err := p.Do("op", func() error { calls++; return last })
+	if !errors.Is(err, last) {
+		t.Fatalf("Do = %v, want the last error", err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 and 2", calls, len(slept))
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	var slept []time.Duration
+	p := noSleep(Policy{Attempts: 5, Base: time.Millisecond}, &slept)
+	base := errors.New("disk on fire")
+	calls := 0
+	err := p.Do("op", func() error { calls++; return Permanent(base) })
+	if calls != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d sleeps=%d, want 1 and 0", calls, len(slept))
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("Do = %v, want to unwrap to the base error", err)
+	}
+}
+
+func TestDoStopsOnENOSPCAndContextErrors(t *testing.T) {
+	for _, tc := range []error{
+		fmt.Errorf("write: %w", syscall.ENOSPC),
+		fmt.Errorf("op: %w", context.Canceled),
+		fmt.Errorf("op: %w", context.DeadlineExceeded),
+	} {
+		var slept []time.Duration
+		p := noSleep(Policy{Attempts: 5, Base: time.Millisecond}, &slept)
+		calls := 0
+		err := p.Do("op", func() error { calls++; return tc })
+		if calls != 1 || len(slept) != 0 {
+			t.Errorf("%v: calls=%d sleeps=%d, want 1 and 0", tc, calls, len(slept))
+		}
+		if !errors.Is(err, tc) {
+			t.Errorf("Do = %v, want %v", err, tc)
+		}
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do("op", func() error { calls++; return errors.New("nope") })
+	if calls != 1 || err == nil {
+		t.Fatalf("calls=%d err=%v, want 1 attempt and the error", calls, err)
+	}
+}
+
+func TestBackoffCapAndJitter(t *testing.T) {
+	p := Policy{Attempts: 10, Base: time.Millisecond, Max: 4 * time.Millisecond, Jitter: 0}
+	if d := p.backoff(1); d != time.Millisecond {
+		t.Fatalf("backoff(1) = %v, want 1ms", d)
+	}
+	if d := p.backoff(5); d != 4*time.Millisecond {
+		t.Fatalf("backoff(5) = %v, want the 4ms cap", d)
+	}
+	// With Jitter=1 and a fixed Rand, delays scale deterministically
+	// over [0.5, 1.5).
+	p.Jitter = 1
+	p.Rand = func() float64 { return 0 }
+	if d := p.backoff(1); d != 500*time.Microsecond {
+		t.Fatalf("jitter floor = %v, want 0.5ms", d)
+	}
+	p.Rand = func() float64 { return 0.5 }
+	if d := p.backoff(1); d != time.Millisecond {
+		t.Fatalf("jitter mid = %v, want 1ms", d)
+	}
+}
+
+func TestPermanentNilStaysNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should be nil")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Fatal("plain errors are transient")
+	}
+}

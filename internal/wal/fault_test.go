@@ -1,0 +1,288 @@
+// Fault-injection tests for the WAL: they live in an external test
+// package so they exercise the log exactly as histserve does, through
+// the exported surface (Options.WrapSegment + the fault injector).
+package wal_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"histcube/internal/agg"
+	"histcube/internal/core"
+	"histcube/internal/fault"
+	"histcube/internal/obs"
+	"histcube/internal/retry"
+	"histcube/internal/wal"
+)
+
+func newCube(t *testing.T) func() (*core.Cube, error) {
+	t.Helper()
+	return func() (*core.Cube, error) {
+		return core.New(core.Config{
+			Dims:             []core.Dim{{Name: "x", Size: 8}, {Name: "y", Size: 4}},
+			Operator:         agg.Sum,
+			BufferOutOfOrder: true,
+		})
+	}
+}
+
+// quietPolicy retries without wall-clock sleeps.
+func quietPolicy() retry.Policy {
+	p := retry.Default()
+	p.Sleep = func(time.Duration) {}
+	return p
+}
+
+func faultOptions(inj *fault.Injector, opts wal.Options) wal.Options {
+	opts.Retry = quietPolicy()
+	opts.WrapSegment = func(f wal.SegmentFile) wal.SegmentFile {
+		return inj.WrapFile("wal", f)
+	}
+	return opts
+}
+
+func testOp(i int) core.Op {
+	return core.Op{Kind: core.OpInsert, Time: int64(i + 1), Coords: []int{i % 8, i % 4}, Value: 1}
+}
+
+func TestAppendRetriesTransientWriteError(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.MustParse("wal.write:err@2", 1)
+	_, l, _, err := wal.Recover(dir, faultOptions(inj, wal.Options{Sync: wal.SyncNever}), newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(testOp(i)); err != nil {
+			t.Fatalf("append %d should survive one transient write error: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+
+	_, l2, res, err := wal.Recover(dir, wal.Options{}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.Replayed != 3 || res.TornTail {
+		t.Fatalf("recovery = %+v, want 3 replayed and no torn tail", res)
+	}
+}
+
+func TestAppendRollsBackTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	// Op 2's write is torn: half the frame lands, then an error. The
+	// retry must truncate the partial frame before writing again, or
+	// the segment ends up with a duplicated half-record.
+	inj := fault.MustParse("wal.write:short@2", 1)
+	_, l, _, err := wal.Recover(dir, faultOptions(inj, wal.Options{Sync: wal.SyncNever}), newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(testOp(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cube, l2, res, err := wal.Recover(dir, wal.Options{}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.Replayed != 4 || res.TornTail {
+		t.Fatalf("recovery = %+v, want all 4 appends intact", res)
+	}
+	got, err := cube.Query(core.Range{TimeLo: 0, TimeHi: 100, Lo: []int{0, 0}, Hi: []int{7, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("recovered total = %v, want 4", got)
+	}
+}
+
+func TestAppendFailsFastOnNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.MustParse("wal.write:nospace@2+", 1)
+	_, l, _, err := wal.Recover(dir, faultOptions(inj, wal.Options{Sync: wal.SyncNever}), newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(testOp(0)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	_, err = l.Append(testOp(1))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append 2 = %v, want ENOSPC to surface", err)
+	}
+	// A full disk is permanent: exactly one write attempt, no retries.
+	if got := inj.Ops("wal.write"); got != 2 {
+		t.Fatalf("write ops = %d, want 2 (ENOSPC must not be retried)", got)
+	}
+	if got := l.LastLSN(); got != 1 {
+		t.Fatalf("LastLSN = %d, want 1 (failed append must not advance)", got)
+	}
+}
+
+func TestSyncRetriesAndCountsMetric(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.MustParse("wal.sync:err@1", 1)
+	m := wal.NewMetrics(obs.NewRegistry())
+	opts := faultOptions(inj, wal.Options{Sync: wal.SyncAlways})
+	opts.Metrics = m
+	// Leave OnRetry to the default wiring so the metric increments.
+	opts.Retry.OnRetry = nil
+	_, l, _, err := wal.Recover(dir, opts, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testOp(0)); err != nil {
+		t.Fatalf("append should survive one transient fsync error: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Retries.Value(); got != 1 {
+		t.Fatalf("retries metric = %v, want 1", got)
+	}
+}
+
+func TestMidLogCorruptionRefusesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, l, _, err := wal.Recover(dir, wal.Options{Sync: wal.SyncNever}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(testOp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte inside the SECOND record (segment header is
+	// 16 bytes, each frame is 8 bytes of header + 27 bytes of payload
+	// for a 2-coordinate op). Valid records follow, so this is mid-log
+	// corruption, not a torn tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	flipByte(t, segs[0], 16+(8+27)+8+3)
+
+	_, _, _, err = wal.Recover(dir, wal.Options{}, newCube(t))
+	if err == nil {
+		t.Fatal("recovery accepted a log with mid-log corruption")
+	}
+	var ce *wal.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T %v, want *wal.CorruptError", err, err)
+	}
+	if ce.LSN != 2 {
+		t.Fatalf("corrupt LSN = %d, want 2", ce.LSN)
+	}
+	if !strings.Contains(err.Error(), "log corrupt at LSN 2") ||
+		!strings.Contains(err.Error(), ".corrupt") {
+		t.Fatalf("error %q should name the LSN and the quarantine step", err)
+	}
+	// The damaged segment must be left exactly as found.
+	if _, err := os.Stat(segs[0]); err != nil {
+		t.Fatalf("segment should be untouched: %v", err)
+	}
+}
+
+func TestCorruptCheckpointQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	cube, l, _, err := wal.Recover(dir, wal.Options{Sync: wal.SyncNever, KeepCheckpoints: 2}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube.SetOpSink(func(op core.Op) error { _, err := l.Append(op); return err })
+	for i := 0; i < 10; i++ {
+		op := testOp(i)
+		if err := cube.Insert(op.Time, op.Coords, op.Value); err != nil {
+			t.Fatal(err)
+		}
+		if i == 4 {
+			if _, err := l.Checkpoint(cube.Save); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := l.Checkpoint(cube.Save); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpts, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil || len(ckpts) != 2 {
+		t.Fatalf("checkpoints: %v %v", ckpts, err)
+	}
+	newest := ckpts[len(ckpts)-1]
+	if err := os.WriteFile(newest, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, l2, res, err := wal.Recover(dir, wal.Options{}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.CheckpointsSkipped != 1 || res.CheckpointLSN != 5 {
+		t.Fatalf("recovery = %+v, want fallback to checkpoint 5", res)
+	}
+	if len(res.QuarantinedCheckpoints) != 1 || res.QuarantinedCheckpoints[0] != newest+".corrupt" {
+		t.Fatalf("quarantined = %v, want [%s.corrupt]", res.QuarantinedCheckpoints, newest)
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("quarantined bytes should stay on disk: %v", err)
+	}
+	if _, err := os.Stat(newest); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("original corrupt checkpoint should be gone, stat = %v", err)
+	}
+	got, err := back.Query(core.Range{TimeLo: 0, TimeHi: 100, Lo: []int{0, 0}, Hi: []int{7, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("recovered total = %v, want 10", got)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,8 @@ type Metrics struct {
 	Replayed         *obs.Counter
 	ReplaySkipped    *obs.Counter
 	TornTruncations  *obs.Counter
+	Retries          *obs.Counter
+	QuarantinedCkpts *obs.Counter
 
 	CheckpointDuration *obs.Histogram
 }
@@ -38,6 +40,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Replayed records whose re-apply failed (they failed identically when first logged)."),
 		TornTruncations: reg.NewCounter("histcube_wal_torn_truncations_total",
 			"Torn final records truncated during recovery."),
+		Retries: reg.NewCounter("histcube_wal_retries_total",
+			"Transient segment write/sync errors absorbed by retry."),
+		QuarantinedCkpts: reg.NewCounter("histcube_wal_quarantined_checkpoints_total",
+			"Unreadable checkpoint files renamed aside during recovery."),
 		CheckpointDuration: reg.NewHistogram("histcube_wal_checkpoint_duration_seconds",
 			"Duration of checkpoint writes (snapshot + fsync + prune).", nil),
 	}

@@ -110,12 +110,72 @@ func decodePayload(p []byte) (core.Op, error) {
 	return op, nil
 }
 
+// CorruptError reports damage in the *middle* of the log: a record
+// fails its frame or CRC check, yet valid records follow it. A torn
+// tail (the crash interrupting the final append) never looks like
+// this, so mid-log corruption means acknowledged history was damaged
+// after the fact — bit rot, a bad sector, outside interference.
+// Recovery refuses to silently drop acknowledged records; the error
+// names the first unrecoverable LSN and how to quarantine the segment
+// if the operator decides to accept the loss.
+type CorruptError struct {
+	// Path is the damaged segment file.
+	Path string
+	// LSN is the first record that cannot be recovered.
+	LSN uint64
+	// Offset is the byte offset of the damaged frame within Path.
+	Offset int64
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: log corrupt at LSN %d (%s, byte offset %d): "+
+		"valid records follow the damaged region, so this is mid-log corruption, "+
+		"not a torn tail; refusing to guess. To accept losing LSNs >= %d, "+
+		"quarantine the segment: mv %s %s.corrupt",
+		e.LSN, e.Path, e.Offset, e.LSN, e.Path, e.Path)
+}
+
+// validFrameAt reports whether a complete, CRC-valid, decodable record
+// frame starts at off.
+func validFrameAt(data []byte, off int) bool {
+	if len(data)-off < recHeaderSize {
+		return false
+	}
+	crc := binary.LittleEndian.Uint32(data[off:])
+	size := int(binary.LittleEndian.Uint32(data[off+4:]))
+	if size < minPayload || size > maxRecordSize || off+recHeaderSize+size > len(data) {
+		return false
+	}
+	payload := data[off+recHeaderSize : off+recHeaderSize+size]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return false
+	}
+	_, err := decodePayload(payload)
+	return err == nil
+}
+
+// scanForRecord reports whether any complete valid record frame starts
+// at or after start. It distinguishes a torn tail (nothing valid
+// follows the damage — safe to truncate) from mid-log corruption
+// (acknowledged records follow — truncating would drop them).
+func scanForRecord(data []byte, start int) bool {
+	for off := start; off+recHeaderSize <= len(data); off++ {
+		if validFrameAt(data, off) {
+			return true
+		}
+	}
+	return false
+}
+
 // readSegment reads a whole segment file. It returns the segment's
 // first LSN, the decoded ops, the byte offset up to which the file is
 // valid, and whether a torn (incomplete or corrupt) tail was found
-// after goodLen. A file whose header itself is unreadable returns an
-// error; the caller decides whether that is fatal (mid-log) or
-// discardable (final segment of an interrupted run).
+// after goodLen. A bad frame with valid records after it is mid-log
+// corruption and comes back as a *CorruptError — the caller must not
+// truncate it away. A file whose header itself is unreadable returns
+// an ordinary error; the caller decides whether that is fatal
+// (mid-log) or discardable (final segment of an interrupted run).
 func readSegment(path string) (first uint64, ops []core.Op, goodLen int64, torn bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -125,25 +185,32 @@ func readSegment(path string) (first uint64, ops []core.Op, goodLen int64, torn 
 	if err != nil {
 		return 0, nil, 0, false, fmt.Errorf("%w: %s", err, path)
 	}
+	// badFrame classifies the damage at off: torn tail when nothing
+	// valid follows, CorruptError when acknowledged records do.
+	badFrame := func(off int) (uint64, []core.Op, int64, bool, error) {
+		if scanForRecord(data, off+1) {
+			return first, ops, int64(off), false,
+				&CorruptError{Path: path, LSN: first + uint64(len(ops)), Offset: int64(off)}
+		}
+		return first, ops, int64(off), true, nil
+	}
 	off := segHeaderSize
 	for off < len(data) {
 		if len(data)-off < recHeaderSize {
-			return first, ops, int64(off), true, nil
+			return badFrame(off)
 		}
 		crc := binary.LittleEndian.Uint32(data[off:])
 		size := int(binary.LittleEndian.Uint32(data[off+4:]))
 		if size < minPayload || size > maxRecordSize || off+recHeaderSize+size > len(data) {
-			return first, ops, int64(off), true, nil
+			return badFrame(off)
 		}
 		payload := data[off+recHeaderSize : off+recHeaderSize+size]
 		if crc32.ChecksumIEEE(payload) != crc {
-			return first, ops, int64(off), true, nil
+			return badFrame(off)
 		}
 		op, derr := decodePayload(payload)
 		if derr != nil {
-			// CRC-valid but undecodable: treat like any other torn
-			// tail so recovery truncates instead of failing.
-			return first, ops, int64(off), true, nil
+			return badFrame(off)
 		}
 		ops = append(ops, op)
 		off += recHeaderSize + size

@@ -1,11 +1,26 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
 	"histcube/internal/core"
 )
+
+// quarantineCheckpoint renames an unreadable checkpoint aside (suffix
+// ".corrupt"): the next boot will not trip over it again, and its
+// bytes stay on disk for inspection. The rename is best-effort — when
+// it fails the file is merely skipped, as before.
+func quarantineCheckpoint(path string, res *RecoverResult, m *Metrics) {
+	res.CheckpointsSkipped++
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		res.QuarantinedCheckpoints = append(res.QuarantinedCheckpoints, path+".corrupt")
+		if m != nil {
+			m.QuarantinedCkpts.Inc()
+		}
+	}
+}
 
 // RecoverResult reports what recovery found and did.
 type RecoverResult struct {
@@ -15,6 +30,10 @@ type RecoverResult struct {
 	// CheckpointsSkipped counts unreadable checkpoint files passed
 	// over before a loadable one (or none) was found.
 	CheckpointsSkipped int
+	// QuarantinedCheckpoints lists the new paths of unreadable
+	// checkpoint files renamed aside (suffix ".corrupt") so they leave
+	// the checkpoint namespace but stay on disk for inspection.
+	QuarantinedCheckpoints []string
 	// Replayed counts log records re-applied on top of the checkpoint.
 	Replayed int
 	// SkippedOps counts replayed records whose re-apply failed; they
@@ -53,13 +72,13 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		f, err := os.Open(ckpts[i].path)
 		if err != nil {
-			res.CheckpointsSkipped++
+			quarantineCheckpoint(ckpts[i].path, &res, opts.Metrics)
 			continue
 		}
 		c, lerr := core.Load(f)
 		_ = f.Close() // read-only; core.Load already validated what was read
 		if lerr != nil {
-			res.CheckpointsSkipped++
+			quarantineCheckpoint(ckpts[i].path, &res, opts.Metrics)
 			continue
 		}
 		cube = c
@@ -91,6 +110,13 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 		last := i == len(segs)-1
 		first, ops, goodLen, torn, err := readSegment(sg.path)
 		if err != nil {
+			// Mid-log corruption is fatal wherever it sits — even in the
+			// final segment, valid records after the damage prove that
+			// acknowledged history would be lost by truncating.
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				return nil, nil, res, err
+			}
 			if !last {
 				return nil, nil, res, fmt.Errorf("wal: unreadable mid-log segment: %w", err)
 			}
@@ -161,7 +187,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 		if err != nil {
 			return nil, nil, res, err
 		}
-		l.f = f
+		l.f = l.wrapSeg(f)
 		l.segFirst = sg.seq
 		l.segBytes = fi.Size()
 	} else {
@@ -169,7 +195,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 		if err != nil {
 			return nil, nil, res, err
 		}
-		l.f = f
+		l.f = l.wrapSeg(f)
 		l.segFirst = l.nextLSN
 		l.segBytes = segHeaderSize
 		l.segCount = 1

@@ -27,6 +27,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,7 +38,18 @@ import (
 
 	"histcube/internal/core"
 	"histcube/internal/obs"
+	"histcube/internal/retry"
 )
+
+// SegmentFile is the slice of *os.File the log needs from its active
+// segment. It exists so tests (and the fault injector) can interpose
+// on segment I/O via Options.WrapSegment without touching real files.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+}
 
 // SyncPolicy selects when appended records are fsynced.
 type SyncPolicy int
@@ -98,6 +110,15 @@ type Options struct {
 	// Metrics, when non-nil, receives append/fsync/checkpoint/replay
 	// counters (see NewMetrics).
 	Metrics *Metrics
+	// Retry bounds the retry loop around segment writes and fsyncs; a
+	// zero value selects retry.Default(). Transient errors are absorbed
+	// (after rolling back any torn partial write); permanent ones —
+	// ENOSPC, retry.Permanent — surface immediately.
+	Retry retry.Policy
+	// WrapSegment, when non-nil, wraps every active segment file the
+	// log opens. Fault-injection tests use it to interpose torn writes
+	// and I/O errors between the log and the filesystem.
+	WrapSegment func(SegmentFile) SegmentFile
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +130,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepCheckpoints <= 0 {
 		o.KeepCheckpoints = 2
+	}
+	if o.Retry.Attempts == 0 {
+		d := retry.Default()
+		d.Sleep, d.Rand, d.OnRetry = o.Retry.Sleep, o.Retry.Rand, o.Retry.OnRetry
+		o.Retry = d
+	}
+	if o.Retry.OnRetry == nil && o.Metrics != nil {
+		m := o.Metrics
+		o.Retry.OnRetry = func(string, int, error) { m.Retries.Inc() }
 	}
 	return o
 }
@@ -123,16 +153,16 @@ type Log struct {
 	opts Options
 
 	mu        sync.Mutex
-	f         *os.File // active segment; guarded by mu
-	segFirst  uint64   // first LSN of the active segment; guarded by mu
-	segBytes  int64    // bytes written to the active segment; guarded by mu
-	segCount  int      // segment files on disk, including the active one; guarded by mu
-	nextLSN   uint64   // guarded by mu
-	dirty     bool     // unsynced appends; guarded by mu
-	sinceCkpt int64    // guarded by mu
-	ckptLSN   uint64   // guarded by mu
-	closed    bool     // guarded by mu
-	buf       []byte   // encode scratch; guarded by mu
+	f         SegmentFile // active segment; guarded by mu
+	segFirst  uint64      // first LSN of the active segment; guarded by mu
+	segBytes  int64       // bytes written to the active segment; guarded by mu
+	segCount  int         // segment files on disk, including the active one; guarded by mu
+	nextLSN   uint64      // guarded by mu
+	dirty     bool        // unsynced appends; guarded by mu
+	sinceCkpt int64       // guarded by mu
+	ckptLSN   uint64      // guarded by mu
+	closed    bool        // guarded by mu
+	buf       []byte      // encode scratch; guarded by mu
 
 	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
 
@@ -206,11 +236,22 @@ func syncDir(dir string) error {
 	return err
 }
 
+// wrapSeg applies Options.WrapSegment to a freshly opened segment.
+func (l *Log) wrapSeg(f *os.File) SegmentFile {
+	if l.opts.WrapSegment != nil {
+		return l.opts.WrapSegment(f)
+	}
+	return f
+}
+
 // createSegment writes a fresh segment file whose records start at
-// first, and makes its creation durable.
+// first, and makes its creation durable. Segments are opened with
+// O_APPEND so that a write retried after a torn-write rollback
+// (Truncate back to the last good length) lands at the truncated end
+// rather than at a stale file offset, which would leave a zero hole.
 func createSegment(dir string, first uint64) (*os.File, error) {
 	path := filepath.Join(dir, segName(first))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +311,7 @@ func (l *Log) Append(op core.Op) (uint64, error) {
 			return 0, err
 		}
 	}
-	if _, err := l.f.Write(rec); err != nil {
+	if err := l.writeRecordLocked(rec); err != nil {
 		return 0, err
 	}
 	l.segBytes += int64(len(rec))
@@ -291,6 +332,31 @@ func (l *Log) Append(op core.Op) (uint64, error) {
 	return lsn, nil
 }
 
+// writeRecordLocked writes one framed record to the active segment
+// under the retry policy. A failed or short write leaves an
+// unacknowledged partial frame at the segment tail; before every
+// retry that tail is rolled back with Truncate to the last good
+// length, so a retried append can never produce a duplicated or
+// interleaved partial frame. A rollback that itself fails is marked
+// permanent — the segment tail is in an unknown state and further
+// blind writes would corrupt acknowledged history.
+func (l *Log) writeRecordLocked(rec []byte) error {
+	return l.opts.Retry.Do("wal.append", func() error {
+		n, err := l.f.Write(rec)
+		if err == nil && n < len(rec) {
+			err = io.ErrShortWrite
+		}
+		if err == nil {
+			return nil
+		}
+		if terr := l.f.Truncate(l.segBytes); terr != nil {
+			return retry.Permanent(fmt.Errorf(
+				"wal: truncating torn append failed: %w (after write error: %w)", terr, err))
+		}
+		return fmt.Errorf("wal: segment write: %w", err)
+	})
+}
+
 // rotateLocked seals the active segment (sync + close) and opens a new
 // one starting at the next LSN.
 func (l *Log) rotateLocked() error {
@@ -304,7 +370,7 @@ func (l *Log) rotateLocked() error {
 	if err != nil {
 		return err
 	}
-	l.f = f
+	l.f = l.wrapSeg(f)
 	l.segFirst = l.nextLSN
 	l.segBytes = segHeaderSize
 	l.segCount++
@@ -318,7 +384,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.opts.Retry.Do("wal.sync", l.f.Sync); err != nil {
 		return err
 	}
 	l.dirty = false
