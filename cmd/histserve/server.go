@@ -54,7 +54,9 @@
 //
 // Resource governance: -max-conns caps concurrently open client
 // connections (excess connections get one "ERR server busy" line and
-// are closed), -read-timeout closes idle connections, -max-line-bytes
+// are closed), -read-timeout closes idle connections and doubles as
+// the write deadline on every response (a client that stops reading
+// cannot pin a goroutine on a blocked flush), -max-line-bytes
 // bounds the request line a client may send, and -request-timeout puts
 // a context deadline on every INS/DEL/QRY/EXPLAIN — long-running
 // eCube evaluations poll it cooperatively and abandon the request with
@@ -161,7 +163,7 @@ type server struct {
 	// Resource governance knobs, set from flags before the listener
 	// starts (startup-only, like dims); zero values disable each limit.
 	reqTimeout  time.Duration // per-request context deadline
-	readTimeout time.Duration // idle-connection read deadline
+	readTimeout time.Duration // idle-connection read deadline; doubles as the per-write deadline
 	maxLineLen  int           // largest accepted request line in bytes
 	maxConns    int64         // open-connection cap; 0 = unlimited
 	probeEvery  time.Duration // recovery-probe interval while degraded
@@ -211,7 +213,7 @@ func main() {
 		slowThr = flag.Duration("slow-query-threshold", 10*time.Millisecond, "queries at or above this duration enter the slow-query log")
 		slowCap = flag.Int("slowlog-size", 32, "worst traces retained by the slow-query log")
 		reqTO   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for INS/DEL/QRY/EXPLAIN; 0 disables")
-		readTO  = flag.Duration("read-timeout", 5*time.Minute, "close connections idle for this long; 0 disables")
+		readTO  = flag.Duration("read-timeout", 5*time.Minute, "close connections idle for this long; also bounds each response write; 0 disables")
 		maxLine = flag.Int("max-line-bytes", 1<<20, "largest accepted request line in bytes")
 		maxConn = flag.Int64("max-conns", 256, "open client connections accepted at once; 0 = unlimited")
 		probeIv = flag.Duration("degraded-probe-every", 2*time.Second, "while read-only, let one mutation through per interval to probe storage recovery")
@@ -549,6 +551,7 @@ func (s *server) handle(conn net.Conn) {
 		s.connRejects.Inc()
 		s.log.Warn("connection rejected at -max-conns cap",
 			"remote", conn.RemoteAddr().String(), "max", s.maxConns)
+		s.setWriteDeadline(conn)
 		fmt.Fprintln(conn, "ERR server busy: connection limit reached, retry later")
 		_ = conn.Close() // the reject line is best-effort; nothing to salvage
 		return
@@ -594,6 +597,7 @@ func (s *server) handle(conn net.Conn) {
 			log.Warn("request failed", "line", line, "resp", resp)
 		}
 		fmt.Fprintln(w, resp)
+		s.setWriteDeadline(conn)
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -607,6 +611,7 @@ func (s *server) handle(conn net.Conn) {
 		// The scanner cannot resynchronise past an overlong line; tell
 		// the client why before closing.
 		fmt.Fprintf(w, "ERR line too long (max %d bytes)\n", s.maxLineLen)
+		s.setWriteDeadline(conn)
 		_ = w.Flush() // best-effort farewell on a connection being torn down
 		log.Warn("connection closed: line exceeds -max-line-bytes", "max", s.maxLineLen)
 	default:
@@ -616,6 +621,17 @@ func (s *server) handle(conn net.Conn) {
 		} else {
 			log.Warn("connection read failed", "err", err)
 		}
+	}
+}
+
+// setWriteDeadline bounds the next response write with the same
+// duration that bounds reads: a client that stops reading must not pin
+// a goroutine (and a -max-conns slot) forever on a blocked flush — the
+// slow-loris variant of the idle-read problem. 0 disables, mirroring
+// -read-timeout.
+func (s *server) setWriteDeadline(conn net.Conn) {
+	if s.readTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.readTimeout))
 	}
 }
 

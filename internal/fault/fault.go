@@ -325,9 +325,11 @@ func (i *Injector) String() string {
 // RegisterMetrics exposes the injector on a metrics registry so chaos
 // runs can observe fault activity alongside the degradation gauges.
 func (i *Injector) RegisterMetrics(reg *obs.Registry) {
-	reg.NewGaugeFunc("histcube_fault_injected_total",
+	// The fire count only ever grows, so it is exposed with counter
+	// semantics (the _total suffix requires them).
+	reg.NewCounterFunc("histcube_fault_injected_total",
 		"Faults fired by the injector since start.",
-		func() float64 { return float64(i.Injected()) })
+		i.Injected)
 	reg.NewGaugeFunc("histcube_fault_armed",
 		"1 while fault rules are armed, 0 after Heal.",
 		func() float64 {

@@ -139,26 +139,72 @@ func TestAppendFailsFastOnNoSpace(t *testing.T) {
 	}
 }
 
-func TestSyncRetriesAndCountsMetric(t *testing.T) {
+// TestSyncFailureFailsFastThenRepairs pins the no-ack-loss contract
+// around fsync: a failed fsync must never be retried on the same
+// descriptor (after EIO the kernel marks the dirty pages clean, so a
+// retried fsync can succeed without the data reaching disk), the
+// append must be nacked with a permanent error, and the next append
+// must repair by reopening the segment, rolling back the nacked tail
+// and reusing its LSN.
+func TestSyncFailureFailsFastThenRepairs(t *testing.T) {
 	dir := t.TempDir()
 	inj := fault.MustParse("wal.sync:err@1", 1)
 	m := wal.NewMetrics(obs.NewRegistry())
 	opts := faultOptions(inj, wal.Options{Sync: wal.SyncAlways})
 	opts.Metrics = m
-	// Leave OnRetry to the default wiring so the metric increments.
 	opts.Retry.OnRetry = nil
 	_, l, _, err := wal.Recover(dir, opts, newCube(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Append(testOp(0)); err != nil {
-		t.Fatalf("append should survive one transient fsync error: %v", err)
+	_, err = l.Append(testOp(0))
+	if err == nil {
+		t.Fatal("append was acked although its fsync failed")
+	}
+	if !retry.IsPermanent(err) {
+		t.Fatalf("fsync failure = %v, want a permanent error", err)
+	}
+	if got := inj.Ops("wal.sync"); got != 1 {
+		t.Fatalf("sync ops = %d, want 1 (a failed fsync must not be retried)", got)
+	}
+	if got := m.Retries.Value(); got != 0 {
+		t.Fatalf("retries metric = %v, want 0", got)
+	}
+	if got := m.SyncFailures.Value(); got != 1 {
+		t.Fatalf("sync-failures metric = %v, want 1", got)
+	}
+	// While latched, even a sync with nothing new to flush fails fast.
+	if err := l.Sync(); !retry.IsPermanent(err) {
+		t.Fatalf("Sync while latched = %v, want the permanent latched error", err)
+	}
+
+	// The @1 fault is spent: the next append reopens the segment,
+	// drops the nacked record and reuses its LSN.
+	lsn, err := l.Append(testOp(1))
+	if err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if lsn != 1 {
+		t.Fatalf("repaired append LSN = %d, want 1 (nacked record's LSN reused)", lsn)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Retries.Value(); got != 1 {
-		t.Fatalf("retries metric = %v, want 1", got)
+
+	cube, l2, res, err := wal.Recover(dir, wal.Options{}, newCube(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.Replayed != 1 || res.TornTail {
+		t.Fatalf("recovery = %+v, want exactly the one acked record", res)
+	}
+	got, err := cube.Query(core.Range{TimeLo: 0, TimeHi: 100, Lo: []int{0, 0}, Hi: []int{7, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("recovered total = %v, want 1 (only the acked append)", got)
 	}
 }
 

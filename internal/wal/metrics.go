@@ -18,6 +18,7 @@ type Metrics struct {
 	ReplaySkipped    *obs.Counter
 	TornTruncations  *obs.Counter
 	Retries          *obs.Counter
+	SyncFailures     *obs.Counter
 	QuarantinedCkpts *obs.Counter
 
 	CheckpointDuration *obs.Histogram
@@ -41,9 +42,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		TornTruncations: reg.NewCounter("histcube_wal_torn_truncations_total",
 			"Torn final records truncated during recovery."),
 		Retries: reg.NewCounter("histcube_wal_retries_total",
-			"Transient segment write/sync errors absorbed by retry."),
+			"Transient segment write errors absorbed by retry (fsync is never retried)."),
+		SyncFailures: reg.NewCounter("histcube_wal_sync_failures_total",
+			"fsync failures that latched the log until the segment was reopened."),
 		QuarantinedCkpts: reg.NewCounter("histcube_wal_quarantined_checkpoints_total",
-			"Unreadable checkpoint files renamed aside during recovery."),
+			"Checkpoint files proven corrupt and renamed aside during recovery."),
 		CheckpointDuration: reg.NewHistogram("histcube_wal_checkpoint_duration_seconds",
 			"Duration of checkpoint writes (snapshot + fsync + prune).", nil),
 	}

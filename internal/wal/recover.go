@@ -8,10 +8,12 @@ import (
 	"histcube/internal/core"
 )
 
-// quarantineCheckpoint renames an unreadable checkpoint aside (suffix
-// ".corrupt"): the next boot will not trip over it again, and its
-// bytes stay on disk for inspection. The rename is best-effort — when
-// it fails the file is merely skipped, as before.
+// quarantineCheckpoint renames a checkpoint that core.Load proved
+// corrupt aside (suffix ".corrupt"): the next boot will not trip over
+// it again, and its bytes stay on disk for inspection. The rename is
+// best-effort — when it fails the file is merely skipped, as before.
+// Only proven corruption earns the rename; callers must not quarantine
+// on open errors, which say nothing about the bytes.
 func quarantineCheckpoint(path string, res *RecoverResult, m *Metrics) {
 	res.CheckpointsSkipped++
 	if err := os.Rename(path, path+".corrupt"); err == nil {
@@ -30,7 +32,7 @@ type RecoverResult struct {
 	// CheckpointsSkipped counts unreadable checkpoint files passed
 	// over before a loadable one (or none) was found.
 	CheckpointsSkipped int
-	// QuarantinedCheckpoints lists the new paths of unreadable
+	// QuarantinedCheckpoints lists the new paths of proven-corrupt
 	// checkpoint files renamed aside (suffix ".corrupt") so they leave
 	// the checkpoint namespace but stay on disk for inspection.
 	QuarantinedCheckpoints []string
@@ -72,7 +74,13 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 	for i := len(ckpts) - 1; i >= 0; i-- {
 		f, err := os.Open(ckpts[i].path)
 		if err != nil {
-			quarantineCheckpoint(ckpts[i].path, &res, opts.Metrics)
+			// An open failure can be transient (EMFILE, EACCES, momentary
+			// I/O) and proves nothing about the content: skip the file for
+			// this boot but leave it in place — renaming it away would
+			// permanently drop the newest checkpoint and, once older
+			// segments are pruned past it, turn a transient fault into a
+			// permanent log-gap failure on every later boot.
+			res.CheckpointsSkipped++
 			continue
 		}
 		c, lerr := core.Load(f)
@@ -173,7 +181,11 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 
 	// 3. Position the log for appends: continue the last segment, or
 	// start a fresh one.
-	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1, ckptLSN: res.CheckpointLSN, segCount: len(segs)}
+	// Everything recovery just read and validated is on disk by
+	// definition, so the opening position doubles as the durable
+	// baseline (durableBytes/durableLSN).
+	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1, durableLSN: lastLSN,
+		ckptLSN: res.CheckpointLSN, segCount: len(segs)}
 	if ckptAt != 0 {
 		l.ckptNano.Store(ckptAt)
 	}
@@ -190,6 +202,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 		l.f = l.wrapSeg(f)
 		l.segFirst = sg.seq
 		l.segBytes = fi.Size()
+		l.durableBytes = fi.Size()
 	} else {
 		f, err := createSegment(dir, l.nextLSN)
 		if err != nil {
@@ -198,6 +211,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 		l.f = l.wrapSeg(f)
 		l.segFirst = l.nextLSN
 		l.segBytes = segHeaderSize
+		l.durableBytes = segHeaderSize
 		l.segCount = 1
 	}
 	l.startSyncLoop()

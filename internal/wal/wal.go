@@ -110,10 +110,12 @@ type Options struct {
 	// Metrics, when non-nil, receives append/fsync/checkpoint/replay
 	// counters (see NewMetrics).
 	Metrics *Metrics
-	// Retry bounds the retry loop around segment writes and fsyncs; a
-	// zero value selects retry.Default(). Transient errors are absorbed
+	// Retry bounds the retry loop around segment writes; a zero value
+	// selects retry.Default(). Transient write errors are absorbed
 	// (after rolling back any torn partial write); permanent ones —
-	// ENOSPC, retry.Permanent — surface immediately.
+	// ENOSPC, retry.Permanent — surface immediately. fsync is never
+	// retried: a failed fsync latches the log until the segment is
+	// reopened on a fresh descriptor (see syncLocked).
 	Retry retry.Policy
 	// WrapSegment, when non-nil, wraps every active segment file the
 	// log opens. Fault-injection tests use it to interpose torn writes
@@ -163,6 +165,14 @@ type Log struct {
 	ckptLSN   uint64      // guarded by mu
 	closed    bool        // guarded by mu
 	buf       []byte      // encode scratch; guarded by mu
+
+	// durableBytes/durableLSN record the active-segment length and last
+	// LSN covered by a successful fsync; syncFailed latches an fsync
+	// error until reopenAfterSyncFailureLocked re-establishes a durable
+	// baseline. All guarded by mu.
+	durableBytes int64
+	durableLSN   uint64
+	syncFailed   error
 
 	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
 
@@ -301,6 +311,11 @@ func (l *Log) Append(op core.Op) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	if l.syncFailed != nil {
+		if err := l.reopenAfterSyncFailureLocked(); err != nil {
+			return 0, err
+		}
+	}
 	rec, err := appendRecord(l.buf[:0], op)
 	if err != nil {
 		return 0, err
@@ -373,6 +388,10 @@ func (l *Log) rotateLocked() error {
 	l.f = l.wrapSeg(f)
 	l.segFirst = l.nextLSN
 	l.segBytes = segHeaderSize
+	// The sync above succeeded and createSegment fsyncs the header, so
+	// the whole new baseline is durable.
+	l.durableBytes = segHeaderSize
+	l.durableLSN = l.nextLSN - 1
 	l.segCount++
 	if m := l.opts.Metrics; m != nil {
 		m.Rotations.Inc()
@@ -380,17 +399,86 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
+// syncLocked fsyncs the active segment — exactly once, never retried.
+// After fsync reports an error, Linux marks the dirty pages clean
+// without writing them, so a retried fsync on the same descriptor can
+// return success for data that never reached disk; treating that
+// success as durable would silently lose an acknowledged record on
+// crash. The failure is instead latched as permanent: every sync and
+// append fails fast (flipping the server read-only) until
+// reopenAfterSyncFailureLocked re-establishes a durable baseline on a
+// fresh descriptor.
 func (l *Log) syncLocked() error {
+	if l.syncFailed != nil {
+		return l.latchedSyncErrLocked()
+	}
 	if !l.dirty {
 		return nil
 	}
-	if err := l.opts.Retry.Do("wal.sync", l.f.Sync); err != nil {
-		return err
+	if err := l.f.Sync(); err != nil {
+		l.syncFailed = err
+		if m := l.opts.Metrics; m != nil {
+			m.SyncFailures.Inc()
+		}
+		return l.latchedSyncErrLocked()
 	}
 	l.dirty = false
+	l.durableBytes = l.segBytes
+	l.durableLSN = l.nextLSN - 1
 	if m := l.opts.Metrics; m != nil {
 		m.Fsyncs.Inc()
 	}
+	return nil
+}
+
+// latchedSyncErrLocked wraps the latched fsync failure as permanent so
+// no retry layer above spends attempts on it.
+func (l *Log) latchedSyncErrLocked() error {
+	return retry.Permanent(fmt.Errorf(
+		"wal: fsync failed, segment tail not durable until the segment is reopened: %w", l.syncFailed))
+}
+
+// reopenAfterSyncFailureLocked re-establishes a durable baseline after
+// a latched fsync failure. The failed fsync left the unsynced tail's
+// pages clean-but-unwritten, so no later fsync on the old descriptor
+// can be trusted; the segment is reopened on a fresh descriptor and
+// fsynced once as proof the device accepts writes again. Under
+// SyncAlways the unsynced tail holds only unacknowledged records
+// (every ack implies a successful fsync), so it is first rolled back
+// to the last known-durable offset and its LSNs are reused — nothing
+// acknowledged is rewritten. Under SyncInterval/SyncNever acknowledged
+// records may sit in the tail, so the bytes are kept: if the kernel
+// really dropped them, a crash surfaces as loud mid-log corruption at
+// recovery rather than silent loss — the bounded-loss window those
+// policies accept. Any failure here keeps the latch, so callers stay
+// degraded until a later append retries the repair.
+func (l *Log) reopenAfterSyncFailureLocked() error {
+	// The old descriptor may re-report the writeback error on close;
+	// the fresh descriptor's fsync below is the arbiter.
+	_ = l.f.Close()
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.segFirst)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return retry.Permanent(fmt.Errorf("wal: reopening segment after fsync failure: %w", err))
+	}
+	if l.opts.Sync == SyncAlways && l.segBytes > l.durableBytes {
+		if err := f.Truncate(l.durableBytes); err != nil {
+			_ = f.Close()
+			return retry.Permanent(fmt.Errorf("wal: rolling back unsynced tail after fsync failure: %w", err))
+		}
+	}
+	nf := l.wrapSeg(f)
+	if err := nf.Sync(); err != nil {
+		_ = nf.Close()
+		return retry.Permanent(fmt.Errorf("wal: fsync on reopened segment failed: %w", err))
+	}
+	l.f = nf
+	if l.opts.Sync == SyncAlways {
+		l.sinceCkpt -= int64(l.nextLSN - (l.durableLSN + 1))
+		l.segBytes = l.durableBytes
+		l.nextLSN = l.durableLSN + 1
+	}
+	l.dirty = false
+	l.syncFailed = nil
 	return nil
 }
 
