@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench fmt crash lint fuzz explain traceguard chaos
+.PHONY: check build test race bench bench-smoke microbench fmt crash lint fuzz explain traceguard perfguard chaos
 
 check:
 	./check.sh
@@ -21,8 +21,28 @@ fuzz:
 	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
 	go test -run='^$$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
 
+# Full load run against the real server: writes the next
+# BENCH_<seq>.json trajectory point plus pprof profiles. Compare two
+# points with: go run ./cmd/histperf -compare old.json new.json
 bench:
-	go test -bench=. -benchmem
+	go build -o bin/histserve ./cmd/histserve
+	go run ./cmd/histperf -serve-bin bin/histserve \
+	    -mixes read,write,mixed,convergence \
+	    -conns 4 -duration 5s -warmup 1s \
+	    -profile-dir bench-profiles -out auto
+
+# The CI smoke variant: short run, gated against the committed
+# baseline with a generous cross-machine tolerance (same step as
+# check.sh).
+bench-smoke:
+	go build -o bin/histserve ./cmd/histserve
+	go run ./cmd/histperf -serve-bin bin/histserve \
+	    -mixes read,write,mixed,convergence \
+	    -conns 2 -duration 2s -warmup 500ms -quiet -out BENCH_smoke.json
+	go run ./cmd/histperf -compare -tolerance 0.9 BENCH_0001.json BENCH_smoke.json
+
+microbench:
+	go test -bench=. -benchmem ./...
 
 crash:
 	go test -race -count=1 -v -run TestCrashRecoveryNoAcknowledgedLoss ./cmd/histserve/
@@ -35,6 +55,9 @@ explain:
 
 traceguard:
 	go test -count=1 -v -run TestDisabledTracerOverhead ./internal/trace/
+
+perfguard:
+	go test -count=1 -v -run TestRecorderOverhead ./internal/perf/
 
 fmt:
 	gofmt -w .

@@ -48,7 +48,24 @@ echo "== disabled-tracer overhead guard (<= 5 ns/op) =="
 # -race, so the suite above does not cover it).
 go test -count=1 -run TestDisabledTracerOverhead ./internal/trace/
 
+echo "== perf-recorder overhead guard (nil <= 5 ns, enabled <= 150 ns, 0 allocs) =="
+# Same regime as the tracer guard: un-instrumented timings only.
+go test -count=1 -run TestRecorderOverhead ./internal/perf/
+
 echo "== EXPLAIN smoke (real binary) =="
 go test -race -count=1 -run TestExplainSmokeRealBinary ./cmd/histserve/
+
+echo "== bench smoke (histperf vs committed baseline) =="
+# A short real-binary load run producing BENCH_smoke.json, gated
+# against the committed BENCH_0001.json baseline with a generous
+# tolerance: ops/sec and p99 vary across machines, but a large
+# throughput collapse, an error storm, or a convergence probe that
+# stopped converging (the paper-unit DDC->PS drop, which is
+# hardware-independent) fails the gate.
+go build -o /tmp/histserve.bench ./cmd/histserve
+go run ./cmd/histperf -serve-bin /tmp/histserve.bench \
+    -mixes read,write,mixed,convergence \
+    -conns 2 -duration 2s -warmup 500ms -quiet -out BENCH_smoke.json
+go run ./cmd/histperf -compare -tolerance 0.9 BENCH_0001.json BENCH_smoke.json
 
 echo "== ok =="

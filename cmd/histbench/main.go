@@ -14,7 +14,9 @@
 //	-series     also print the full per-point series as CSV
 //	-seed n     RNG seed
 //	-json path  write a machine-readable report (p50/p90/p99/mean per
-//	            cost curve, plus wall-clock seconds per experiment) to
+//	            cost curve, plus wall-clock seconds per experiment,
+//	            stamped with the shared perf.RunMeta build metadata:
+//	            git revision, Go version, GOMAXPROCS, OS/arch) to
 //	            path, or to stdout with "-"
 //	-trace      additionally run the traced per-query cost experiment:
 //	            drives the core facade with a span per query and emits
@@ -37,6 +39,7 @@ import (
 
 	"histcube/internal/experiments"
 	"histcube/internal/obs"
+	"histcube/internal/perf"
 	"histcube/internal/workload"
 )
 
@@ -294,10 +297,14 @@ func main() {
 
 // writeReport emits the machine-readable run report — the format
 // BENCH_*.json trajectories are built from, so the tool itself is the
-// producer rather than ad-hoc postprocessing.
+// producer rather than ad-hoc postprocessing. The meta block (git
+// revision, Go version, GOMAXPROCS, OS/arch) is the same
+// perf.RunMeta histperf stamps on its reports, so every benchmark
+// artifact in the repo is attributable to a build the same way.
 func writeReport(path string, experiments map[string]any, seed int64) error {
 	doc := map[string]any{
 		"tool":        "histbench",
+		"meta":        perf.CollectMeta("histbench"),
 		"seed":        seed,
 		"quantiles":   "nearest-rank (internal/stats.Quantile)",
 		"experiments": experiments,

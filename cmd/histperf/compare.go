@@ -1,0 +1,118 @@
+package main
+
+// The regression verdict: `histperf -compare old.json new.json
+// -tolerance P` holds a new report against a baseline and exits
+// nonzero on regression, so check.sh and CI can gate on it.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Error-rate slack: wire benchmarks produce occasional stray errors;
+// only a rate jump beyond this absolute fraction fails the gate.
+const errorRateSlack = 0.05
+
+// compareReports prints a per-mix verdict and returns the exit code:
+// 0 pass, 1 regression, 2 usage or input error.
+//
+// Throughput and latency are machine-dependent, so they get the full
+// tolerance in the generous direction only (slower ops/sec, fatter
+// p99). Paper units (cells touched by the convergence probe) are
+// machine-independent, so they are held to the same tolerance around
+// an exact counter — and a new report whose convergence mix no longer
+// converges (last > first) fails regardless of tolerance.
+func compareReports(oldPath, newPath string, tol float64, out io.Writer) int {
+	if tol < 0 || tol >= 1 {
+		fmt.Fprintf(out, "histperf: -tolerance %g outside [0, 1)\n", tol)
+		return 2
+	}
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(out, "histperf: %v\n", err)
+		return 2
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(out, "histperf: %v\n", err)
+		return 2
+	}
+
+	names := sortedMixNames(oldR)
+	regressions := 0
+	fail := func(mix, format string, args ...any) {
+		regressions++
+		fmt.Fprintf(out, "FAIL %-12s %s\n", mix, fmt.Sprintf(format, args...))
+	}
+	for _, name := range names {
+		o := oldR.Mixes[name]
+		n, ok := newR.Mixes[name]
+		if !ok {
+			fail(name, "mix present in %s but missing from %s", oldPath, newPath)
+			continue
+		}
+		if floor := o.OpsPerSec * (1 - tol); n.OpsPerSec < floor {
+			fail(name, "ops/sec %.1f below %.1f (old %.1f, tolerance %g)",
+				n.OpsPerSec, floor, o.OpsPerSec, tol)
+		}
+		if ceil := o.Latency.P99US / (1 - tol); o.Latency.P99US > 0 && n.Latency.P99US > ceil {
+			fail(name, "p99 %.1fus above %.1fus (old %.1fus, tolerance %g)",
+				n.Latency.P99US, ceil, o.Latency.P99US, tol)
+		}
+		oldRate := errorRate(o)
+		newRate := errorRate(n)
+		if newRate > oldRate+errorRateSlack {
+			fail(name, "error rate %.3f above old %.3f + %.2f slack", newRate, oldRate, errorRateSlack)
+		}
+		if o.PaperUnits != nil && n.PaperUnits != nil {
+			op, np := o.PaperUnits, n.PaperUnits
+			if np.LastCellsTouched > np.FirstCellsTouched {
+				fail(name, "no convergence: cells per probe grew %d -> %d (DDC->PS regression)",
+					np.FirstCellsTouched, np.LastCellsTouched)
+			}
+			if ceil := float64(op.LastCellsTouched) * (1 + tol); float64(np.LastCellsTouched) > ceil {
+				fail(name, "converged cost %d cells above %.0f (old %d, tolerance %g)",
+					np.LastCellsTouched, ceil, op.LastCellsTouched, tol)
+			}
+		}
+	}
+	for _, name := range sortedMixNames(newR) {
+		if _, ok := oldR.Mixes[name]; !ok {
+			fmt.Fprintf(out, "NOTE %-12s new mix, no baseline\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "histperf: %d regression(s) vs %s (tolerance %g)\n", regressions, oldPath, tol)
+		return 1
+	}
+	fmt.Fprintf(out, "histperf: %d mix(es) within tolerance %g of %s\n", len(names), tol, oldPath)
+	return 0
+}
+
+func errorRate(m *MixResult) float64 {
+	if m.Ops == 0 {
+		return 0
+	}
+	return float64(m.Errors) / float64(m.Ops)
+}
+
+// summarize prints the human-readable run table.
+func summarize(r *Report, out io.Writer) {
+	fmt.Fprintf(out, "histperf %s (%s, go %s, GOMAXPROCS=%d)\n",
+		r.Meta.GitRev, r.Meta.Date, r.Meta.GoVersion, r.Meta.GOMAXPROCS)
+	names := make([]string, 0, len(r.Mixes))
+	for n := range r.Mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := r.Mixes[name]
+		fmt.Fprintf(out, "  %-12s %8.0f ops/sec  p50 %7.1fus  p95 %7.1fus  p99 %7.1fus  errors %d\n",
+			name, m.OpsPerSec, m.Latency.P50US, m.Latency.P95US, m.Latency.P99US, m.Errors)
+		if u := m.PaperUnits; u != nil {
+			fmt.Fprintf(out, "  %-12s cells/probe %d -> %d (ratio %.3f; DDC bound %.0f, PS bound %.0f), conversions %d\n",
+				"", u.FirstCellsTouched, u.LastCellsTouched, u.CellsRatio, u.DDCBound, u.PSBound, u.ConversionsDelta)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package main
+
+// Compare-gate tests: the regression verdict must exit nonzero on a
+// synthetically degraded copy of a baseline and zero on an identical
+// one. These run on canned reports, no server needed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"histcube/internal/perf"
+)
+
+// canned returns a plausible two-mix baseline report.
+func canned() *Report {
+	return &Report{
+		Format: reportFormat,
+		Meta:   perf.RunMeta{Tool: "histperf", GitRev: "test", GoVersion: "gotest", GOMAXPROCS: 1},
+		Config: RunConfig{Mode: "closed", Conns: 4, DurationSeconds: 5, Dims: "16,16", Seed: 1},
+		Mixes: map[string]*MixResult{
+			"read": {
+				Ops: 50000, OpsPerSec: 10000,
+				Latency: LatencyDigest{Count: 50000, MeanUS: 90, P50US: 80, P95US: 150, P99US: 240, MaxUS: 900},
+			},
+			"convergence": {
+				Ops: 40000, OpsPerSec: 8000,
+				Latency: LatencyDigest{Count: 40000, MeanUS: 110, P50US: 95, P95US: 180, P99US: 300, MaxUS: 1200},
+				PaperUnits: &PaperUnits{
+					FirstCellsTouched: 900, LastCellsTouched: 60, CellsRatio: 60.0 / 900,
+					ConversionsDelta: 14, DDCBound: 64, PSBound: 4,
+				},
+			},
+		},
+	}
+}
+
+// writeTemp marshals a report into dir and returns its path.
+func writeTemp(t *testing.T, dir, name string, r *Report) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareIdentical passes a report against itself.
+func TestCompareIdentical(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTemp(t, dir, "old.json", canned())
+	var out bytes.Buffer
+	if code := compareReports(old, old, 0.1, &out); code != 0 {
+		t.Fatalf("identical reports -> exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance") {
+		t.Errorf("missing pass summary: %q", out.String())
+	}
+}
+
+// TestCompareDegraded checks every regression axis fails the gate:
+// slower throughput, fatter p99, an error-rate jump, a convergence
+// probe that stopped converging, and a lost mix.
+func TestCompareDegraded(t *testing.T) {
+	degrade := map[string]func(r *Report){
+		"ops_per_sec": func(r *Report) { r.Mixes["read"].OpsPerSec = 10000 * 0.5 },
+		"p99": func(r *Report) {
+			r.Mixes["read"].Latency.P99US = 240 * 3
+		},
+		"error_rate": func(r *Report) { r.Mixes["read"].Errors = r.Mixes["read"].Ops / 2 },
+		"no_convergence": func(r *Report) {
+			u := r.Mixes["convergence"].PaperUnits
+			u.FirstCellsTouched, u.LastCellsTouched = 60, 900
+		},
+		"converged_cost": func(r *Report) { r.Mixes["convergence"].PaperUnits.LastCellsTouched = 600 },
+		"missing_mix":    func(r *Report) { delete(r.Mixes, "convergence") },
+	}
+	for name, mutate := range degrade {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			old := writeTemp(t, dir, "old.json", canned())
+			bad := canned()
+			mutate(bad)
+			next := writeTemp(t, dir, "new.json", bad)
+			var out bytes.Buffer
+			if code := compareReports(old, next, 0.25, &out); code != 1 {
+				t.Fatalf("degraded %s -> exit %d, want 1; output:\n%s", name, code, out.String())
+			}
+			if !strings.Contains(out.String(), "FAIL") {
+				t.Errorf("no FAIL line for %s: %q", name, out.String())
+			}
+		})
+	}
+}
+
+// TestCompareWithinTolerance allows a mild slowdown through.
+func TestCompareWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTemp(t, dir, "old.json", canned())
+	slower := canned()
+	slower.Mixes["read"].OpsPerSec = 10000 * 0.85
+	slower.Mixes["read"].Latency.P99US = 240 * 1.1
+	next := writeTemp(t, dir, "new.json", slower)
+	var out bytes.Buffer
+	if code := compareReports(old, next, 0.25, &out); code != 0 {
+		t.Fatalf("15%% slowdown under 25%% tolerance -> exit %d; output:\n%s", code, out.String())
+	}
+}
+
+// TestCompareUsageErrors exercises the exit-2 paths.
+func TestCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTemp(t, dir, "good.json", canned())
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrongFormat := canned()
+	wrongFormat.Format = "histperf/v999"
+	wrong := writeTemp(t, dir, "wrong.json", wrongFormat)
+
+	var out bytes.Buffer
+	for _, tc := range [][2]string{
+		{good, junk},
+		{junk, good},
+		{good, wrong},
+		{good, filepath.Join(dir, "absent.json")},
+	} {
+		if code := compareReports(tc[0], tc[1], 0.1, &out); code != 2 {
+			t.Errorf("compare(%s, %s) -> exit %d, want 2", tc[0], tc[1], code)
+		}
+	}
+	if code := compareReports(good, good, 1.5, &out); code != 2 {
+		t.Errorf("tolerance 1.5 accepted")
+	}
+}
+
+// TestCompareViaRun drives the verdict through the real flag surface:
+// `histperf -compare old new` must propagate the nonzero exit.
+func TestCompareViaRun(t *testing.T) {
+	dir := t.TempDir()
+	old := writeTemp(t, dir, "old.json", canned())
+	bad := canned()
+	bad.Mixes["read"].OpsPerSec = 100
+	next := writeTemp(t, dir, "new.json", bad)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "-tolerance", "0.25", old, next}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-compare degraded) -> %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-compare", old, old}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-compare identical) -> %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if code := run([]string{"-compare", old}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-compare one-arg) -> %d, want 2", code)
+	}
+}
+
+// TestRunFlagValidation covers the run-mode usage errors.
+func TestRunFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{},                                            // neither -serve-bin nor -addr
+		{"-serve-bin", "x", "-addr", "y"},             // both
+		{"-addr", "y", "-mode", "sideways"},           // bad mode
+		{"-addr", "y", "-conns", "0"},                 // bad conns
+		{"-addr", "y", "-duration", "0s"},             // bad duration
+		{"-addr", "y", "-mode", "open", "-rate", "0"}, // bad rate
+		{"-addr", "y", "stray"},                       // stray args
+	}
+	for _, argv := range cases {
+		if code := run(argv, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%q) -> %d, want 2", argv, code)
+		}
+	}
+}

@@ -1,0 +1,597 @@
+package main
+
+// The load engine: workload mixes, cube seeding, open- and closed-loop
+// workers, paper-unit capture via EXPLAIN, and assembly of the final
+// Report.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"histcube/internal/perf"
+)
+
+// loadConfig holds everything one run needs. Exactly one of Bin
+// (launch the binary) or Addr (attach to a running server) is set.
+type loadConfig struct {
+	Bin         string
+	Addr        string
+	MetricsAddr string // with Addr only; Bin launches its own
+	Dims        string
+	Mode        string // closed | open
+	Conns       int
+	Rate        float64 // open loop: aggregate target ops/sec
+	Duration    time.Duration
+	Warmup      time.Duration
+	Seed        int64
+	Mixes       []string
+	ProfileDir  string
+	Log         io.Writer // progress lines; nil silences
+}
+
+// mixSpec shapes one workload mix.
+type mixSpec struct {
+	name    string
+	readPct int // percentage of operations that are queries
+	// fixedPool > 0 draws every query from a pool of that many
+	// identical historic queries — the paper's repeated-query
+	// convergence scenario (DDC -> PS) — and captures paper units.
+	fixedPool int
+}
+
+// mixSpecs is the mix catalogue; -mixes selects from it by name.
+var mixSpecs = map[string]mixSpec{
+	"read":        {name: "read", readPct: 90},
+	"write":       {name: "write", readPct: 10},
+	"mixed":       {name: "mixed", readPct: 50},
+	"convergence": {name: "convergence", readPct: 100, fixedPool: 4},
+}
+
+// Seeding shape: each mix gets seedSlices fresh time slices with
+// seedCells random upserts per slice before its clock starts, so
+// historic queries always have unconverted DDC-regime slices to hit.
+const (
+	seedSlices = 16
+	seedCells  = 48
+)
+
+// runLoad executes every configured mix against one server and
+// returns the canonical report.
+func runLoad(cfg loadConfig) (*Report, error) {
+	shape, err := parseShape(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	spec := make([]mixSpec, 0, len(cfg.Mixes))
+	for _, name := range cfg.Mixes {
+		m, ok := mixSpecs[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown mix %q (have read, write, mixed, convergence)", name)
+		}
+		spec = append(spec, m)
+	}
+	if len(spec) == 0 {
+		return nil, fmt.Errorf("no mixes selected")
+	}
+
+	addr, metricsAddr := cfg.Addr, cfg.MetricsAddr
+	if cfg.Bin != "" {
+		proc, err := launchServer(cfg.Bin, cfg.Dims, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer proc.stop()
+		addr, metricsAddr = proc.addr, proc.metricsAddr
+	}
+
+	eng := &engine{cfg: cfg, shape: shape, addr: addr, metricsAddr: metricsAddr}
+	report := &Report{
+		Format: reportFormat,
+		Meta:   perf.CollectMeta("histperf"),
+		Config: RunConfig{
+			Mode:            cfg.Mode,
+			Conns:           cfg.Conns,
+			Rate:            cfg.Rate,
+			DurationSeconds: cfg.Duration.Seconds(),
+			WarmupSeconds:   cfg.Warmup.Seconds(),
+			Dims:            cfg.Dims,
+			Seed:            cfg.Seed,
+		},
+		Mixes: make(map[string]*MixResult, len(spec)),
+	}
+	for i, m := range spec {
+		eng.logf("mix %s: seeding %d slices x %d cells", m.name, seedSlices, seedCells)
+		res, err := eng.runMix(m, cfg.Seed+int64(i)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", m.name, err)
+		}
+		report.Mixes[m.name] = res
+		eng.logf("mix %s: %d ops, %.0f ops/sec, p50 %.0fus p99 %.0fus, %d errors",
+			m.name, res.Ops, res.OpsPerSec, res.Latency.P50US, res.Latency.P99US, res.Errors)
+	}
+	if cfg.ProfileDir != "" && metricsAddr != "" {
+		for _, prof := range []string{"heap", "mutex", "block"} {
+			if err := captureProfile(metricsAddr, prof, cfg.ProfileDir, prof+".pprof", 0); err != nil {
+				eng.logf("profile %s: %v", prof, err)
+			}
+		}
+	}
+	return report, nil
+}
+
+// engine is the per-run state shared across mixes: the time cursor
+// advances monotonically so every mix seeds and queries a fresh,
+// previously untouched time region.
+type engine struct {
+	cfg         loadConfig
+	shape       []int
+	addr        string
+	metricsAddr string
+	cursor      atomic.Int64 // next hot time unit
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.cfg.Log != nil {
+		fmt.Fprintf(e.cfg.Log, "histperf: "+format+"\n", args...)
+	}
+}
+
+// runMix seeds a fresh region, captures the first paper-unit sample,
+// warms up, runs the timed phase, and digests the results.
+func (e *engine) runMix(m mixSpec, seed int64) (*MixResult, error) {
+	ctl, err := dialWire(e.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.Close()
+
+	regionLo, regionHi, err := e.seedRegion(ctl, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	pool := buildPool(m, e.shape, regionLo, regionHi)
+	var units *PaperUnits
+	var convBefore float64
+	if m.fixedPool > 0 {
+		units = &PaperUnits{DDCBound: ddcBound(e.shape), PSBound: psBound(e.shape)}
+		if e.metricsAddr != "" {
+			// The conversions delta brackets the whole mix (probes,
+			// warmup and timed phase): converting is front-loaded work
+			// that mostly happens before the timed window starts.
+			raw, err := scrapeMetrics(e.metricsAddr)
+			if err != nil {
+				return nil, fmt.Errorf("scraping /metrics: %w", err)
+			}
+			convBefore = raw[`histcube_ecube_conversions_total{trigger="query"}`]
+		}
+		totals, err := e.explainTotals(ctl, pool[0])
+		if err != nil {
+			return nil, err
+		}
+		units.FirstCellsTouched = totals["cells_touched"]
+	}
+
+	workers, err := e.dialWorkers(m, seed, regionLo, regionHi, pool)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.conn.Close()
+		}
+	}()
+
+	if e.cfg.Warmup > 0 {
+		if err := e.runPhase(workers, e.cfg.Warmup, false); err != nil {
+			return nil, err
+		}
+	}
+
+	var before map[string]float64
+	if e.metricsAddr != "" {
+		if before, err = scrapeMetrics(e.metricsAddr); err != nil {
+			return nil, fmt.Errorf("scraping /metrics: %w", err)
+		}
+	}
+	var profErr error
+	var profDone chan struct{}
+	if e.cfg.ProfileDir != "" && e.metricsAddr != "" {
+		secs := int(e.cfg.Duration.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		profDone = make(chan struct{})
+		go func() {
+			defer close(profDone)
+			profErr = captureProfile(e.metricsAddr, "profile", e.cfg.ProfileDir, "cpu_"+m.name+".pprof", secs)
+		}()
+	}
+
+	started := time.Now()
+	if err := e.runPhase(workers, e.cfg.Duration, true); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(started)
+
+	if profDone != nil {
+		<-profDone
+		if profErr != nil {
+			e.logf("cpu profile (%s): %v", m.name, profErr)
+		}
+	}
+
+	res := &MixResult{}
+	if e.metricsAddr != "" {
+		after, err := scrapeMetrics(e.metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("scraping /metrics: %w", err)
+		}
+		res.ServerDeltas = metricsDelta(before, after)
+	}
+	if units != nil {
+		totals, err := e.explainTotals(ctl, pool[0])
+		if err != nil {
+			return nil, err
+		}
+		units.LastCellsTouched = totals["cells_touched"]
+		if units.FirstCellsTouched > 0 {
+			units.CellsRatio = float64(units.LastCellsTouched) / float64(units.FirstCellsTouched)
+		}
+		if e.metricsAddr != "" {
+			raw, err := scrapeMetrics(e.metricsAddr)
+			if err != nil {
+				return nil, fmt.Errorf("scraping /metrics: %w", err)
+			}
+			units.ConversionsDelta = int64(raw[`histcube_ecube_conversions_total{trigger="query"}`] - convBefore)
+		}
+		res.PaperUnits = units
+	}
+
+	all := perf.NewHist()
+	byCmd := map[string]*perf.Hist{"QRY": perf.NewHist(), "INS": perf.NewHist()}
+	for _, w := range workers {
+		res.Ops += w.ops
+		res.Errors += w.errs
+		all.Merge(w.all)
+		byCmd["QRY"].Merge(w.qry)
+		byCmd["INS"].Merge(w.ins)
+	}
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.Latency = digest(all)
+	res.PerCmd = make(map[string]LatencyDigest, 2)
+	for cmd, h := range byCmd {
+		if h.Count() > 0 {
+			res.PerCmd[cmd] = digest(h)
+		}
+	}
+	return res, nil
+}
+
+// seedRegion appends seedSlices fresh slices at the time cursor and
+// returns the queryable historic sub-range (the last seeded slice
+// stays hot until a later insert seals it, so it is excluded).
+func (e *engine) seedRegion(ctl *wireConn, seed int64) (lo, hi int64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	base := e.cursor.Load()
+	for t := base; t < base+seedSlices; t++ {
+		for k := 0; k < seedCells; k++ {
+			line := insLine(t, randomCoords(rng, e.shape), 1)
+			resp, err := ctl.do(line)
+			if err != nil {
+				return 0, 0, err
+			}
+			if strings.HasPrefix(resp, "ERR") {
+				return 0, 0, fmt.Errorf("seed insert rejected: %s", resp)
+			}
+		}
+	}
+	e.cursor.Store(base + seedSlices)
+	return base, base + seedSlices - 2, nil
+}
+
+// explainTotals runs EXPLAIN over one query and parses the totals
+// line into counter values.
+func (e *engine) explainTotals(ctl *wireConn, qry string) (map[string]int64, error) {
+	lines, err := ctl.doMulti("EXPLAIN " + qry)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "totals ") {
+			continue
+		}
+		out := make(map[string]int64)
+		for _, f := range strings.Fields(l)[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				continue
+			}
+			out[k] = n
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("EXPLAIN response carried no totals line: %q", lines)
+}
+
+// dialWorkers opens one connection per configured conn, each with its
+// own deterministic generator and local histograms.
+func (e *engine) dialWorkers(m mixSpec, seed, regionLo, regionHi int64, pool []string) ([]*worker, error) {
+	workers := make([]*worker, e.cfg.Conns)
+	for i := range workers {
+		conn, err := dialWire(e.addr)
+		if err != nil {
+			for _, w := range workers[:i] {
+				w.conn.Close()
+			}
+			return nil, err
+		}
+		workers[i] = &worker{
+			eng:      e,
+			mix:      m,
+			conn:     conn,
+			rng:      rand.New(rand.NewSource(seed + int64(i)*104729)),
+			pool:     pool,
+			regionLo: regionLo,
+			regionHi: regionHi,
+			all:      perf.NewHist(),
+			qry:      perf.NewHist(),
+			ins:      perf.NewHist(),
+		}
+	}
+	return workers, nil
+}
+
+// runPhase drives all workers for d. record selects whether samples
+// count (warmup runs with record=false). Closed loop: every worker
+// issues back-to-back requests. Open loop: a central pacer emits
+// scheduled arrival times at cfg.Rate and latency is measured from
+// the scheduled arrival, so queueing delay counts against the server.
+func (e *engine) runPhase(workers []*worker, d time.Duration, record bool) error {
+	var stop atomic.Bool
+	timer := time.AfterFunc(d, func() { stop.Store(true) })
+	defer timer.Stop()
+
+	var arrivals chan time.Time
+	if e.cfg.Mode == "open" {
+		// The buffer absorbs bursts; a full buffer blocks the pacer,
+		// bounding memory at the cost of strict open-loop fidelity
+		// during sustained overload.
+		arrivals = make(chan time.Time, 64*1024)
+		interval := time.Duration(float64(time.Second) / e.cfg.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			next := time.Now()
+			for !stop.Load() {
+				arrivals <- next
+				next = next.Add(interval)
+				if sleep := time.Until(next); sleep > 0 {
+					time.Sleep(sleep)
+				}
+			}
+			close(arrivals)
+		}()
+	}
+
+	errs := make(chan error, len(workers))
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			errs <- w.loop(&stop, arrivals, record)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worker is one load connection with its private generator and
+// histograms (merged after the run — nothing here is shared, so the
+// hot loop takes no locks).
+type worker struct {
+	eng      *engine
+	mix      mixSpec
+	conn     *wireConn
+	rng      *rand.Rand
+	pool     []string
+	regionLo int64
+	regionHi int64
+
+	ops  int64
+	errs int64
+	all  *perf.Hist
+	qry  *perf.Hist
+	ins  *perf.Hist
+}
+
+// loop issues requests until stop flips (closed) or arrivals closes
+// (open).
+func (w *worker) loop(stop *atomic.Bool, arrivals chan time.Time, record bool) error {
+	for {
+		var scheduled time.Time
+		if arrivals != nil {
+			t, ok := <-arrivals
+			if !ok {
+				return nil
+			}
+			scheduled = t
+		} else {
+			if stop.Load() {
+				return nil
+			}
+			scheduled = time.Now()
+		}
+		if err := w.oneOp(scheduled, record); err != nil {
+			return err
+		}
+	}
+}
+
+// oneOp generates, sends and accounts a single operation. Latency is
+// measured from the scheduled arrival (equal to "now" in closed
+// mode).
+func (w *worker) oneOp(scheduled time.Time, record bool) error {
+	var line string
+	isRead := w.rng.Intn(100) < w.mix.readPct
+	if isRead {
+		if len(w.pool) > 0 {
+			line = w.pool[w.rng.Intn(len(w.pool))]
+		} else {
+			line = w.randomQuery()
+		}
+	} else {
+		// Writes land on the hot frontier; a slow random walk forward
+		// seals slices so later mixes always find history behind them.
+		if w.rng.Intn(256) == 0 {
+			w.eng.cursor.Add(1)
+		}
+		line = insLine(w.eng.cursor.Load(), randomCoords(w.rng, w.eng.shape), 1)
+	}
+	resp, err := w.conn.do(line)
+	lat := time.Since(scheduled)
+	if err != nil {
+		return fmt.Errorf("wire error on %q: %w", line, err)
+	}
+	if !record {
+		return nil
+	}
+	w.ops++
+	if strings.HasPrefix(resp, "ERR") {
+		w.errs++
+	}
+	w.all.Record(lat)
+	if isRead {
+		w.qry.Record(lat)
+	} else {
+		w.ins.Record(lat)
+	}
+	return nil
+}
+
+// randomQuery builds a historic range query: a random time sub-range
+// of the mix's seeded region and a random box in every coordinate.
+func (w *worker) randomQuery() string {
+	span := w.regionHi - w.regionLo
+	tlo := w.regionLo + w.rng.Int63n(span+1)
+	thi := tlo + w.rng.Int63n(w.regionHi-tlo+1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "QRY %d %d", tlo, thi)
+	his := make([]int, len(w.eng.shape))
+	for i, n := range w.eng.shape {
+		lo := w.rng.Intn(n)
+		his[i] = lo + w.rng.Intn(n-lo)
+		fmt.Fprintf(&b, " %d", lo)
+	}
+	for _, hi := range his {
+		fmt.Fprintf(&b, " %d", hi)
+	}
+	return b.String()
+}
+
+// buildPool returns the convergence mix's fixed query pool: interior
+// boxes over staggered time sub-ranges of the region, so the same few
+// queries hit the same historic slices over and over. The boxes stay
+// off the cube's lower faces deliberately: a box touching coordinate
+// 0 drops the corresponding corner terms of the PS reduction (they
+// evaluate to zero without touching cells), which would hide the DDC
+// cost the convergence probe exists to measure.
+func buildPool(m mixSpec, shape []int, regionLo, regionHi int64) []string {
+	if m.fixedPool <= 0 {
+		return nil
+	}
+	pool := make([]string, m.fixedPool)
+	span := regionHi - regionLo
+	for i := range pool {
+		tlo := regionLo + int64(i)*span/int64(len(pool)+1)
+		var b strings.Builder
+		fmt.Fprintf(&b, "QRY %d %d", tlo, regionHi)
+		for _, n := range shape {
+			lo := 1
+			if n < 3 {
+				lo = 0
+			}
+			fmt.Fprintf(&b, " %d", lo)
+		}
+		for _, n := range shape {
+			hi := n - 2
+			if hi < 1 {
+				hi = n - 1
+			}
+			fmt.Fprintf(&b, " %d", hi)
+		}
+		pool[i] = b.String()
+	}
+	return pool
+}
+
+// insLine renders one INS request.
+func insLine(t int64, coords []int, v float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INS %d", t)
+	for _, c := range coords {
+		fmt.Fprintf(&b, " %d", c)
+	}
+	fmt.Fprintf(&b, " %g", v)
+	return b.String()
+}
+
+func randomCoords(rng *rand.Rand, shape []int) []int {
+	coords := make([]int, len(shape))
+	for i, n := range shape {
+		coords[i] = rng.Intn(n)
+	}
+	return coords
+}
+
+// parseShape parses the -dims argument ("16,16") into sizes.
+func parseShape(dims string) ([]int, error) {
+	parts := strings.Split(dims, ",")
+	shape := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -dims %q: each size must be a positive integer", dims)
+		}
+		shape = append(shape, n)
+	}
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("bad -dims %q: empty", dims)
+	}
+	return shape, nil
+}
+
+// ddcBound is the paper's per-query cell cost in the DDC regime,
+// prod_i(2·log₂ nᵢ); psBound the converged PS floor, 2^d.
+func ddcBound(shape []int) float64 {
+	cost := 1.0
+	for _, n := range shape {
+		if n > 1 {
+			cost *= 2 * math.Log2(float64(n))
+		}
+	}
+	return cost
+}
+
+func psBound(shape []int) float64 {
+	return math.Pow(2, float64(len(shape)))
+}

@@ -1,0 +1,286 @@
+package main
+
+// Unit tests for the load engine's pure pieces plus the end-to-end
+// smoke: build the real histserve binary, run a short two-mix load
+// against it and check the emitted report is internally consistent —
+// including the paper-unit convergence drop the benchmark exists to
+// demonstrate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShape(t *testing.T) {
+	good := map[string][]int{
+		"16,16":  {16, 16},
+		"8":      {8},
+		" 4, 2 ": {4, 2},
+	}
+	for in, want := range good {
+		got, err := parseShape(in)
+		if err != nil {
+			t.Fatalf("parseShape(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parseShape(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parseShape(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"", "0", "-3,4", "a,b", "16,,16"} {
+		if _, err := parseShape(in); err == nil {
+			t.Errorf("parseShape(%q) accepted", in)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// 16x16: DDC (2·log₂16)² = 64, PS 2² = 4 — the paper's Fig. 10/11
+	// regime endpoints for a 2-d cube.
+	if got := ddcBound([]int{16, 16}); math.Abs(got-64) > 1e-9 {
+		t.Errorf("ddcBound(16,16) = %g, want 64", got)
+	}
+	if got := psBound([]int{16, 16}); got != 4 {
+		t.Errorf("psBound(16,16) = %g, want 4", got)
+	}
+}
+
+// TestQueryGeneration checks every generated line stays inside the
+// region and the cube's domains.
+func TestQueryGeneration(t *testing.T) {
+	shape := []int{16, 8}
+	w := &worker{
+		eng:      &engine{shape: shape},
+		rng:      rand.New(rand.NewSource(42)),
+		regionLo: 100,
+		regionHi: 114,
+	}
+	for i := 0; i < 2000; i++ {
+		fields := strings.Fields(w.randomQuery())
+		if fields[0] != "QRY" || len(fields) != 1+2+2*len(shape) {
+			t.Fatalf("malformed query %q", fields)
+		}
+		nums := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			var n int
+			if _, err := jsonNumber(f, &n); err != nil {
+				t.Fatalf("bad number %q in %q", f, fields)
+			}
+			nums = append(nums, n)
+		}
+		tlo, thi := nums[0], nums[1]
+		if tlo < 100 || thi > 114 || tlo > thi {
+			t.Fatalf("time range [%d,%d] outside region", tlo, thi)
+		}
+		for d, n := range shape {
+			lo, hi := nums[2+d], nums[2+len(shape)+d]
+			if lo < 0 || hi >= n || lo > hi {
+				t.Fatalf("dim %d box [%d,%d] outside [0,%d)", d, lo, hi, n)
+			}
+		}
+	}
+}
+
+// jsonNumber parses one integer field (strconv via json keeps the
+// test free of a second parser idiom).
+func jsonNumber(s string, into *int) (int, error) {
+	err := json.Unmarshal([]byte(s), into)
+	return *into, err
+}
+
+func TestBuildPool(t *testing.T) {
+	pool := buildPool(mixSpecs["convergence"], []int{16, 16}, 0, 14)
+	if len(pool) != mixSpecs["convergence"].fixedPool {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	for _, q := range pool {
+		fields := strings.Fields(q)
+		if fields[0] != "QRY" || len(fields) != 7 {
+			t.Fatalf("malformed pool query %q", q)
+		}
+		if fields[2] != "14" || fields[3] != "1" || fields[4] != "1" || fields[5] != "14" || fields[6] != "14" {
+			t.Fatalf("pool query %q is not an interior-box historic query", q)
+		}
+	}
+	if pool[0] == pool[len(pool)-1] {
+		t.Errorf("pool queries do not stagger start times: %q", pool)
+	}
+	if buildPool(mixSpecs["read"], []int{16}, 0, 10) != nil {
+		t.Errorf("non-convergence mix got a pool")
+	}
+}
+
+func TestInsLine(t *testing.T) {
+	if got := insLine(7, []int{3, 12}, 1); got != "INS 7 3 12 1" {
+		t.Errorf("insLine = %q", got)
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	got, err := nextBenchPath(dir)
+	if err != nil || got != "BENCH_0001.json" {
+		t.Fatalf("empty dir -> %q, %v", got, err)
+	}
+	for _, f := range []string{"BENCH_0001.json", "BENCH_0007.json", "BENCH_smoke.json"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err = nextBenchPath(dir); err != nil || got != "BENCH_0008.json" {
+		t.Fatalf("seeded dir -> %q, %v", got, err)
+	}
+}
+
+// buildServer compiles the real histserve binary for the smoke test.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH; cannot build histserve")
+	}
+	bin := filepath.Join(t.TempDir(), "histserve")
+	out, err := exec.Command("go", "build", "-o", bin, "histcube/cmd/histserve").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building histserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestEndToEndSmoke runs a short real load — read + convergence mixes
+// against a freshly launched server — and checks the report: sane
+// throughput and latency, server-side request deltas consistent with
+// the client's op counts, and a convergence probe whose per-query
+// cell cost dropped towards the PS floor.
+func TestEndToEndSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping real-binary load smoke in -short mode")
+	}
+	bin := buildServer(t)
+	profDir := filepath.Join(t.TempDir(), "profiles")
+	var progress bytes.Buffer
+	report, err := runLoad(loadConfig{
+		Bin:        bin,
+		Dims:       "16,16",
+		Mode:       "closed",
+		Conns:      2,
+		Duration:   1500 * time.Millisecond,
+		Warmup:     200 * time.Millisecond,
+		Seed:       1,
+		Mixes:      []string{"read", "convergence"},
+		ProfileDir: profDir,
+		Log:        &progress,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\nprogress:\n%s", err, progress.String())
+	}
+
+	for _, name := range []string{"read", "convergence"} {
+		m := report.Mixes[name]
+		if m == nil {
+			t.Fatalf("mix %s missing from report", name)
+		}
+		if m.Ops < 100 {
+			t.Errorf("mix %s: only %d ops in 1.5s", name, m.Ops)
+		}
+		if m.Errors != 0 {
+			t.Errorf("mix %s: %d protocol errors", name, m.Errors)
+		}
+		lat := m.Latency
+		if lat.Count != m.Ops || lat.P50US <= 0 || lat.P99US < lat.P50US || lat.MaxUS < lat.P99US/2 {
+			t.Errorf("mix %s: implausible latency digest %+v", name, lat)
+		}
+		// Client ops and the server's scraped request deltas must agree:
+		// everything the client counted hit the server during the timed
+		// phase (the delta may exceed it by in-flight warmup stragglers,
+		// never undercount by more than the connection count).
+		reqDelta := m.ServerDeltas["requests_qry"] + m.ServerDeltas["requests_ins"]
+		if reqDelta < float64(m.Ops) {
+			t.Errorf("mix %s: server saw %.0f requests, client recorded %d", name, reqDelta, m.Ops)
+		}
+	}
+
+	u := report.Mixes["convergence"].PaperUnits
+	if u == nil {
+		t.Fatal("convergence mix carries no paper units")
+	}
+	if u.FirstCellsTouched <= 0 {
+		t.Fatalf("first probe touched %d cells", u.FirstCellsTouched)
+	}
+	if u.LastCellsTouched >= u.FirstCellsTouched {
+		t.Errorf("no DDC->PS drop: %d -> %d cells", u.FirstCellsTouched, u.LastCellsTouched)
+	}
+	if u.DDCBound != 64 || u.PSBound != 4 {
+		t.Errorf("bounds = %g/%g, want 64/4 for 16,16", u.DDCBound, u.PSBound)
+	}
+	if u.ConversionsDelta <= 0 {
+		t.Errorf("convergence mix persisted %d DDC->PS conversions, want > 0", u.ConversionsDelta)
+	}
+	if report.Mixes["read"].PaperUnits != nil {
+		t.Errorf("read mix unexpectedly carries paper units")
+	}
+
+	if report.Meta.Tool != "histperf" || report.Meta.GoVersion == "" || report.Meta.GOMAXPROCS < 1 {
+		t.Errorf("bad meta: %+v", report.Meta)
+	}
+
+	// Profiles were captured for the timed phases and the run end.
+	for _, f := range []string{"cpu_read.pprof", "cpu_convergence.pprof", "heap.pprof", "mutex.pprof", "block.pprof"} {
+		fi, err := os.Stat(filepath.Join(profDir, f))
+		if err != nil {
+			t.Errorf("profile %s: %v", f, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+
+	// The report round-trips through the compare gate against itself.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "smoke.json")
+	if _, err := writeReport(report, path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := compareReports(path, path, 0.1, &out); code != 0 {
+		t.Errorf("self-compare failed:\n%s", out.String())
+	}
+}
+
+// TestOpenLoopSmoke runs a brief paced load and checks the measured
+// rate lands near the configured arrival rate (closed-loop saturation
+// would be far higher).
+func TestOpenLoopSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping real-binary load smoke in -short mode")
+	}
+	bin := buildServer(t)
+	report, err := runLoad(loadConfig{
+		Bin:      bin,
+		Dims:     "8,8",
+		Mode:     "open",
+		Conns:    2,
+		Rate:     400,
+		Duration: time.Second,
+		Warmup:   100 * time.Millisecond,
+		Seed:     2,
+		Mixes:    []string{"mixed"},
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	m := report.Mixes["mixed"]
+	if m.OpsPerSec < 150 || m.OpsPerSec > 900 {
+		t.Errorf("open loop at 400 ops/sec measured %.0f ops/sec", m.OpsPerSec)
+	}
+}

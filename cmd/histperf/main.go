@@ -1,0 +1,152 @@
+// Command histperf is histcube's load driver and performance gate: it
+// drives the real histserve binary over the wire with configurable
+// workload mixes, collects client-side latency histograms
+// (internal/perf) next to scraped server metrics and the paper's own
+// cost counters, and emits a canonical BENCH_<seq>.json record that
+// `histperf -compare` can hold future runs against.
+//
+// Run mode (default):
+//
+//	histperf -serve-bin ./bin/histserve -dims 16,16 \
+//	    -mixes read,write,mixed,convergence \
+//	    -conns 4 -duration 5s -warmup 1s -out auto
+//
+// Either -serve-bin launches a private server on ephemeral ports
+// (with -ooo and a metrics listener), or -addr/-metrics-addr attach
+// to a running one, which is assumed to start empty. Each mix first
+// seeds a fresh region of historic time slices, then runs a warmup
+// and a timed phase over -conns connections. -mode selects closed-
+// loop (back-to-back requests per connection) or open-loop (a pacer
+// schedules arrivals at -rate ops/sec and queueing delay counts
+// toward latency). -profile-dir captures CPU profiles per mix plus
+// heap/mutex/block profiles at the end via /debug/pprof.
+//
+// The convergence mix replays a fixed pool of identical historic
+// queries and brackets the run with EXPLAIN probes, recording
+// cells-touched per query before and after: the paper's DDC->PS
+// regime transition (Figures 10/11) in hardware-independent units.
+//
+// Compare mode:
+//
+//	histperf -compare old.json new.json -tolerance 0.25
+//
+// exits 0 when every mix of new.json is within tolerance of old.json,
+// 1 on regression (slower ops/sec, fatter p99, error-rate jump, or a
+// convergence probe that stopped converging), 2 on bad input — so CI
+// can gate merges on a committed baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, for tests.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("histperf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compareMode = fs.Bool("compare", false, "compare two report files (old new) instead of running load")
+		tolerance   = fs.Float64("tolerance", 0.25, "with -compare: allowed fractional degradation")
+
+		serveBin    = fs.String("serve-bin", "", "histserve binary to launch for the run (ephemeral ports, -ooo)")
+		addr        = fs.String("addr", "", "attach to a running histserve at this address instead of launching one")
+		metricsAddr = fs.String("metrics-addr", "", "with -addr: the server's metrics address for /metrics deltas and profiles")
+		dims        = fs.String("dims", "16,16", "cube shape; must match the target server")
+		mode        = fs.String("mode", "closed", "load generation: closed (back-to-back) or open (paced arrivals)")
+		conns       = fs.Int("conns", 4, "concurrent client connections")
+		rate        = fs.Float64("rate", 2000, "open loop: aggregate arrival rate in ops/sec")
+		duration    = fs.Duration("duration", 5*time.Second, "timed phase per mix")
+		warmup      = fs.Duration("warmup", time.Second, "warmup per mix (unrecorded)")
+		seed        = fs.Int64("seed", 1, "workload generator seed")
+		mixesArg    = fs.String("mixes", "read,write,mixed,convergence", "comma-separated mixes to run")
+		profileDir  = fs.String("profile-dir", "", "capture pprof profiles (cpu per mix, heap/mutex/block) into this directory")
+		out         = fs.String("out", "-", `report destination: a path, "-" for stdout, or "auto" for the next BENCH_<seq>.json`)
+		quiet       = fs.Bool("quiet", false, "suppress progress and summary output")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *compareMode {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: histperf -compare [-tolerance P] old.json new.json")
+			return 2
+		}
+		return compareReports(fs.Arg(0), fs.Arg(1), *tolerance, stdout)
+	}
+
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "histperf: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if (*serveBin == "") == (*addr == "") {
+		fmt.Fprintln(stderr, "histperf: exactly one of -serve-bin or -addr is required")
+		return 2
+	}
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(stderr, "histperf: -mode %q is neither closed nor open\n", *mode)
+		return 2
+	}
+	if *conns < 1 || *duration <= 0 || (*mode == "open" && *rate <= 0) {
+		fmt.Fprintln(stderr, "histperf: -conns, -duration and (open mode) -rate must be positive")
+		return 2
+	}
+
+	cfg := loadConfig{
+		Bin:         *serveBin,
+		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
+		Dims:        *dims,
+		Mode:        *mode,
+		Conns:       *conns,
+		Rate:        *rate,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Seed:        *seed,
+		Mixes:       splitMixes(*mixesArg),
+		ProfileDir:  *profileDir,
+	}
+	if *mode == "closed" {
+		cfg.Rate = 0 // not meaningful; keep the report honest
+	}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+
+	report, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "histperf: %v\n", err)
+		return 1
+	}
+	path, err := writeReport(report, *out)
+	if err != nil {
+		fmt.Fprintf(stderr, "histperf: writing report: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		summarize(report, stderr)
+		if path != "-" {
+			fmt.Fprintf(stderr, "histperf: wrote %s\n", path)
+		}
+	}
+	return 0
+}
+
+func splitMixes(arg string) []string {
+	var out []string
+	for _, m := range strings.Split(arg, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

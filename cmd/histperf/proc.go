@@ -1,0 +1,262 @@
+package main
+
+// Server-process and wire plumbing for the load driver: launching the
+// real histserve binary and parsing its listen addresses from the
+// structured log, a minimal line-protocol client, the /metrics
+// scraper, and /debug/pprof profile capture.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	listenRE     = regexp.MustCompile(`msg=listening addr=([^ ]+)`)
+	metricsRE    = regexp.MustCompile(`msg="metrics listening" addr=([^ ]+)`)
+	launchWaitTO = 30 * time.Second
+)
+
+// serverProc is a histserve child process launched for the run.
+type serverProc struct {
+	cmd         *exec.Cmd
+	addr        string
+	metricsAddr string
+	stderr      []string
+}
+
+// launchServer starts bin with ephemeral protocol and metrics ports
+// plus -ooo (concurrent writers interleave times; rejections would
+// pollute the error counts) and waits for both listen addresses.
+func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-metrics", "127.0.0.1:0",
+		"-dims", dims,
+		"-ooo",
+	}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	p := &serverProc{cmd: cmd}
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default: // never block the child on a full buffer
+			}
+		}
+		close(lines)
+	}()
+	deadline := time.After(launchWaitTO)
+	for p.addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				p.stop()
+				return nil, fmt.Errorf("histserve exited before listening; stderr:\n%s", strings.Join(p.stderr, "\n"))
+			}
+			p.stderr = append(p.stderr, line)
+			if m := metricsRE.FindStringSubmatch(line); m != nil {
+				p.metricsAddr = m[1]
+			}
+			// The metrics listener logs before the protocol listener, so
+			// once this matches both addresses are known.
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				p.addr = m[1]
+			}
+		case <-deadline:
+			p.stop()
+			return nil, fmt.Errorf("histserve did not listen within %s", launchWaitTO)
+		}
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go func() {
+		for range lines {
+		}
+	}()
+	return p, nil
+}
+
+// stop kills and reaps the child; benchmark servers hold no durable
+// state worth a graceful shutdown.
+func (p *serverProc) stop() {
+	if p == nil || p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// wireConn is one client connection speaking the line protocol.
+type wireConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// opTimeout bounds one round-trip so a wedged server fails the run
+// instead of hanging it.
+const opTimeout = 30 * time.Second
+
+func dialWire(addr string) (*wireConn, error) {
+	c, err := net.DialTimeout("tcp", addr, opTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &wireConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+func (w *wireConn) Close() { _ = w.c.Close() }
+
+// do sends one request line and reads the single response line.
+func (w *wireConn) do(line string) (string, error) {
+	if err := w.send(line); err != nil {
+		return "", err
+	}
+	return w.readLine()
+}
+
+// doMulti sends one request and reads a multi-line response
+// terminated by "END" (EXPLAIN, SLOWLOG). A leading ERR line is the
+// whole response.
+func (w *wireConn) doMulti(line string) ([]string, error) {
+	if err := w.send(line); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		l, err := w.readLine()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, l)
+		if l == "END" || (len(out) == 1 && strings.HasPrefix(l, "ERR")) {
+			return out, nil
+		}
+	}
+}
+
+func (w *wireConn) send(line string) error {
+	if err := w.c.SetDeadline(time.Now().Add(opTimeout)); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(line); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *wireConn) readLine() (string, error) {
+	l, err := w.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(l, "\r\n"), nil
+}
+
+// scrapeMetrics fetches and parses the Prometheus text exposition,
+// keyed by the full series name including labels.
+func scrapeMetrics(metricsAddr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+// serverDeltaKeys maps the scraped series histperf reports on to the
+// friendly keys used in MixResult.ServerDeltas.
+var serverDeltaKeys = map[string]string{
+	`histserve_requests_total{cmd="QRY"}`:                "requests_qry",
+	`histserve_requests_total{cmd="INS"}`:                "requests_ins",
+	`histserve_errors_total{cmd="QRY"}`:                  "errors_qry",
+	`histserve_errors_total{cmd="INS"}`:                  "errors_ins",
+	`histcube_ecube_conversions_total{trigger="query"}`:  "conversions_query",
+	`histcube_ecube_conversions_total{trigger="append"}`: "conversions_append",
+}
+
+// metricsDelta reports after-before for the series of interest.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	if after == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(serverDeltaKeys))
+	for raw, friendly := range serverDeltaKeys {
+		if v, ok := after[raw]; ok {
+			out[friendly] = v - before[raw]
+		}
+	}
+	return out
+}
+
+// captureProfile fetches one /debug/pprof profile into dir. seconds >
+// 0 requests a timed (CPU) profile.
+func captureProfile(metricsAddr, name, dir, file string, seconds int) error {
+	url := fmt.Sprintf("http://%s/debug/pprof/%s", metricsAddr, name)
+	if seconds > 0 {
+		url += fmt.Sprintf("?seconds=%d", seconds)
+	}
+	client := &http.Client{Timeout: time.Duration(seconds+60) * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof %s: HTTP %d", name, resp.StatusCode)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, file))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		return err
+	}
+	return f.Close()
+}

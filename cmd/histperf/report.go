@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"histcube/internal/perf"
+)
+
+// reportFormat versions the BENCH_*.json schema; compare refuses to
+// mix formats it does not understand.
+const reportFormat = "histperf/v1"
+
+// Report is the canonical BENCH_<seq>.json record: one load run,
+// attributable to a build (Meta), reproducible from its knobs
+// (Config), with one result block per workload mix. The committed
+// BENCH_0001.json baseline and every CI BENCH_smoke.json follow this
+// schema, and `histperf -compare` consumes it.
+type Report struct {
+	Format string       `json:"format"`
+	Meta   perf.RunMeta `json:"meta"`
+	Config RunConfig    `json:"config"`
+	// Mixes is keyed by mix name (read, write, mixed, convergence).
+	Mixes map[string]*MixResult `json:"mixes"`
+}
+
+// RunConfig records the knobs that shaped the run.
+type RunConfig struct {
+	Mode            string  `json:"mode"` // closed | open
+	Conns           int     `json:"conns"`
+	Rate            float64 `json:"rate_ops_per_sec,omitempty"` // open loop only
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	Dims            string  `json:"dims"`
+	Seed            int64   `json:"seed"`
+}
+
+// LatencyDigest is the standard client-side latency block, in
+// microseconds (the natural unit of a local round-trip).
+type LatencyDigest struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// digest renders a perf.Hist as a LatencyDigest.
+func digest(h *perf.Hist) LatencyDigest {
+	return LatencyDigest{
+		Count:  h.Count(),
+		MeanUS: us(h.Mean()),
+		P50US:  us(h.Quantile(0.5)),
+		P95US:  us(h.Quantile(0.95)),
+		P99US:  us(h.Quantile(0.99)),
+		MaxUS:  us(h.Max()),
+	}
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// MixResult is one workload mix's outcome.
+type MixResult struct {
+	Ops       int64         `json:"ops"`
+	Errors    int64         `json:"errors"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	Latency   LatencyDigest `json:"latency"`
+	// PerCmd splits the digest by protocol command (QRY, INS).
+	PerCmd map[string]LatencyDigest `json:"per_cmd,omitempty"`
+	// ServerDeltas holds scraped /metrics counter deltas across the
+	// timed phase (absent when the target exposes no metrics
+	// listener): requests/errors by command and the paper's
+	// conversion counters split by trigger.
+	ServerDeltas map[string]float64 `json:"server_deltas,omitempty"`
+	// PaperUnits carries the hardware-independent EXPLAIN cost
+	// numbers for the convergence mix.
+	PaperUnits *PaperUnits `json:"paper_units,omitempty"`
+}
+
+// PaperUnits captures the paper's own cost model around a mix: the
+// per-query cell cost of an identical historic query before and after
+// the load, next to the closed-form DDC and PS bounds (Figures 10/11:
+// repeated queries converge from (2·log₂N)^(d-1) towards 2^(d-1)).
+// Unlike ops/sec these are machine-independent, so -compare can hold
+// them to a tight tolerance across hardware.
+type PaperUnits struct {
+	FirstCellsTouched int64   `json:"first_cells_touched"`
+	LastCellsTouched  int64   `json:"last_cells_touched"`
+	CellsRatio        float64 `json:"cells_ratio"` // last/first, < 1 once converged
+	ConversionsDelta  int64   `json:"conversions_delta"`
+	DDCBound          float64 `json:"ddc_bound"`
+	PSBound           float64 `json:"ps_bound"`
+}
+
+// writeReport marshals the report to path ("-" = stdout); "auto"
+// picks the next free BENCH_<seq>.json in the working directory.
+func writeReport(r *Report, path string) (string, error) {
+	if path == "auto" {
+		next, err := nextBenchPath(".")
+		if err != nil {
+			return "", err
+		}
+		path = next
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return path, err
+	}
+	return path, os.WriteFile(path, b, 0o644)
+}
+
+// nextBenchPath scans dir for BENCH_<seq>.json trajectory points and
+// returns the next sequence number's path.
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	seq := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > seq {
+			seq = n
+		}
+	}
+	return fmt.Sprintf("BENCH_%04d.json", seq+1), nil
+}
+
+// readReport loads and validates one report file.
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Format != reportFormat {
+		return nil, fmt.Errorf("%s: format %q, want %q", path, r.Format, reportFormat)
+	}
+	if len(r.Mixes) == 0 {
+		return nil, fmt.Errorf("%s: no mixes", path)
+	}
+	return &r, nil
+}
+
+// sortedMixNames returns the mix keys of a report in stable order.
+func sortedMixNames(r *Report) []string {
+	names := make([]string, 0, len(r.Mixes))
+	for n := range r.Mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -24,7 +24,9 @@
 // STATS carries the full counter set (see README's Observability
 // section): out-of-order totals, eCube conversion progress (split by
 // query/append trigger), lazy-copy work, tier demotions and access
-// counts.
+// counts, plus trailing win_* fields digesting the sliding latency
+// window (-perf-window) for QRY and INS: ops/sec, p50 and p99 in
+// microseconds over the last N seconds.
 //
 // Every request is traced (internal/trace): EXPLAIN renders the span
 // tree with the paper's per-query cost counters, SLOWLOG returns the
@@ -50,7 +52,12 @@
 // (liveness), GET /readyz answers "ok" only once WAL recovery has
 // finished (readiness — 503 while replaying). The same listener
 // serves GET /debug/slowlog and /debug/trace/recent (retained traces
-// as JSON) and the standard /debug/pprof/* profiling endpoints.
+// as JSON), GET /debug/perf (per-command sliding-window latency
+// digests as JSON — the feed cmd/histperf scrapes) and the standard
+// /debug/pprof/* profiling endpoints. Start with
+// -mutex-profile-fraction / -block-profile-rate to populate
+// /debug/pprof/mutex and /debug/pprof/block when profiling the
+// single-mutex bottleneck.
 //
 // Resource governance: -max-conns caps concurrently open client
 // connections (excess connections get one "ERR server busy" line and
@@ -92,6 +99,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -105,6 +113,7 @@ import (
 	"histcube/internal/dims"
 	"histcube/internal/fault"
 	"histcube/internal/obs"
+	"histcube/internal/perf"
 	"histcube/internal/trace"
 	"histcube/internal/wal"
 )
@@ -154,6 +163,12 @@ type server struct {
 	// outside the mu contract — Observe/Add run after mu is released.
 	slow   *trace.SlowLog
 	recent *trace.Ring
+
+	// perf records per-command request latency into sliding windows
+	// (internal/perf); like slow/recent it is atomic internally and
+	// outside the mu contract. STATS, /debug/perf and the
+	// histserve_cmd_latency_* gauges read it.
+	perf *perf.Set
 
 	// ready flips to true once startup (snapshot load, WAL recovery) has
 	// finished; /readyz answers 503 until then while /healthz stays a
@@ -219,11 +234,24 @@ func main() {
 		probeIv = flag.Duration("degraded-probe-every", 2*time.Second, "while read-only, let one mutation through per interval to probe storage recovery")
 		fspec   = flag.String("fault-spec", "", "fault-injection spec for chaos testing (see internal/fault); empty disables")
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
+		perfWin = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests (STATS, /debug/perf, histserve_cmd_latency_* metrics)")
+		mutexPF = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 samples every contention event, 0 disables); populates /debug/pprof/mutex")
+		blockPR = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns (1 records every blocking event, 0 disables); populates /debug/pprof/block")
 	)
 	flag.Parse()
 
+	// Profiling the single-mutex bottleneck needs these set before any
+	// contention happens; both default off because sampling costs the
+	// hot path a little.
+	if *mutexPF > 0 {
+		runtime.SetMutexProfileFraction(*mutexPF)
+	}
+	if *blockPR > 0 {
+		runtime.SetBlockProfileRate(*blockPR)
+	}
+
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv, err := newServer(*dimsArg, *opArg, *ooo)
+	srv, err := newServer(*dimsArg, *opArg, *ooo, *perfWin)
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
@@ -406,7 +434,7 @@ func (s *server) maybeCheckpointLocked() {
 	}
 }
 
-func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
+func newServer(dimsArg, opArg string, ooo bool, perfWindow time.Duration) (*server, error) {
 	var ds []core.Dim
 	for i, part := range strings.Split(dimsArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -430,6 +458,9 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if perfWindow <= 0 {
+		perfWindow = 10 * time.Second
+	}
 	s := &server{
 		cube:       cube,
 		dims:       len(ds),
@@ -438,9 +469,11 @@ func newServer(dimsArg, opArg string, ooo bool) (*server, error) {
 		log:        slog.Default(),
 		slow:       trace.NewSlowLog(32, 10*time.Millisecond),
 		recent:     trace.NewRing(64),
+		perf:       perf.NewSet(perfWindow, commands...),
 		maxLineLen: 1 << 20,
 		probeEvery: 2 * time.Second,
 	}
+	s.perf.Register(s.reg)
 	s.ins = core.NewInstruments(s.reg)
 	cube.SetInstruments(s.ins)
 	core.RegisterStatsMetrics(s.reg, func() core.Stats {
@@ -523,6 +556,24 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 		writeEntriesJSON(w, s.log, map[string]any{
 			"capacity": s.recent.Cap(),
 		}, s.recent.Entries())
+	})
+	// Per-command sliding-window digests — the JSON feed cmd/histperf
+	// scrapes; the same numbers back the histserve_cmd_latency_*
+	// gauges on /metrics and the STATS win_* fields.
+	mux.HandleFunc("/debug/perf", func(w http.ResponseWriter, r *http.Request) {
+		byCmd := make(map[string]perf.Snapshot, len(commands))
+		for _, cmd := range s.perf.Names() {
+			byCmd[cmd] = s.perf.Snapshot(cmd)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"window_ns": s.perf.Window().Nanoseconds(),
+			"commands":  byCmd,
+		}); err != nil {
+			s.log.Error("perf JSON render failed", "err", err)
+		}
 	})
 	// pprof normally registers on http.DefaultServeMux at import; this
 	// listener uses its own mux, so the handlers are wired explicitly.
@@ -653,9 +704,10 @@ func (s *server) safeDispatch(line string) (resp string, quit bool) {
 	return s.dispatch(line)
 }
 
-// count records one dispatched request (and, for responses starting
-// with ERR, one error) under the command's label.
-func (s *server) count(cmd, resp string) {
+// finish accounts one dispatched request under the command's label:
+// the request counter, the error counter for responses starting with
+// ERR, and the command's sliding-window latency recorder.
+func (s *server) finish(cmd, resp string, start time.Time) {
 	key := cmd
 	if _, known := s.requests[key]; !known {
 		key = "other"
@@ -664,6 +716,7 @@ func (s *server) count(cmd, resp string) {
 	if strings.HasPrefix(resp, "ERR") {
 		s.errors[key].Inc()
 	}
+	s.perf.Record(key, time.Since(start))
 }
 
 func (s *server) dispatch(line string) (resp string, quit bool) {
@@ -672,10 +725,11 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 	if len(fields) > 0 {
 		cmd = strings.ToUpper(fields[0])
 	}
+	start := time.Now()
 	s.inflight.Inc()
 	defer func() {
 		s.inflight.Dec()
-		s.count(cmd, resp)
+		s.finish(cmd, resp, start)
 	}()
 	if len(fields) == 0 {
 		return "ERR empty command", false
@@ -698,17 +752,27 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		if s.degraded.Load() {
 			degraded = 1
 		}
+		// The trailing win_* fields digest the sliding latency windows
+		// (internal/perf) for the two hot commands; times in
+		// microseconds, throughput in ops/sec over the covered window.
+		qry := s.perf.Snapshot("QRY")
+		ins := s.perf.Snapshot("INS")
 		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
 			"ooo=%d conversions=%d conversions_query=%d conversions_append=%d "+
 			"cells_touched=%d forced_copies=%d copy_ahead=%d "+
 			"demoted=%d cache_accesses=%d store_accesses=%d "+
-			"degraded=%d readonly_rejections=%d",
+			"degraded=%d readonly_rejections=%d "+
+			"win_s=%.0f qry_ops=%.1f qry_p50_us=%.1f qry_p99_us=%.1f "+
+			"ins_ops=%.1f ins_p50_us=%.1f ins_p99_us=%.1f",
 			st.Slices, st.IncompleteSlices, st.PendingOutOfOrder, st.AppendedUpdates,
 			st.OutOfOrderUpdates, st.ECubeConversions, st.ECubeConversionsQuery,
 			st.ECubeConversionsAppend, st.ECubeCellsTouched,
 			st.ForcedCopies, st.CopyAheadWork,
 			st.TierDemotions, st.CacheAccesses, st.StoreAccesses,
-			degraded, s.readonlyRejects.Value()), false
+			degraded, s.readonlyRejects.Value(),
+			s.perf.Window().Seconds(),
+			qry.OpsPerSec, micros(qry.P50), micros(qry.P99),
+			ins.OpsPerSec, micros(ins.P50), micros(ins.P99)), false
 	case "SAVE":
 		if len(fields) != 2 {
 			return "ERR SAVE needs a file path", false
@@ -1040,6 +1104,10 @@ func (s *server) observe(line string, root *trace.Span) {
 // markReady flips /readyz to 200: startup (snapshot load, WAL
 // recovery) has finished and the server is about to accept traffic.
 func (s *server) markReady() { s.ready.Store(true) }
+
+// micros renders a duration as fractional microseconds for the STATS
+// win_* fields.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
 // writeEntriesJSON renders retained traces as a JSON document: the
 // meta fields plus an "entries" array of {line, at, duration_ns,

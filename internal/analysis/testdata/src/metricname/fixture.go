@@ -23,6 +23,29 @@ func register(reg *obs.Registry, dynamic string) {
 
 func count() int64 { return 0 }
 
+// registerPerf mirrors internal/perf's Set.Register: one NewGaugeFunc
+// call site inside a loop publishes each histserve_cmd_* series for
+// every cmd/stat label pair. A single site registering the same
+// literal name many times is fine — the duplicate rule counts sites,
+// not calls — and the per-command latency names must parse as
+// well-formed histserve_ metrics.
+func registerPerf(reg *obs.Registry, names []string) {
+	for _, n := range names {
+		for _, stat := range []string{"p50", "p95", "p99", "max", "mean"} {
+			reg.NewGaugeFunc("histserve_cmd_latency_seconds", "ok: one site, many label pairs",
+				func() float64 { return 0 },
+				obs.Label{Key: "cmd", Value: n}, obs.Label{Key: "stat", Value: stat})
+		}
+		reg.NewGaugeFunc("histserve_cmd_window_ops_per_sec", "ok: histserve prefix, snake case",
+			func() float64 { return 0 }, obs.Label{Key: "cmd", Value: n})
+		reg.NewGaugeFunc("histserve_cmd_window_count", "ok: histserve prefix, snake case",
+			func() float64 { return 0 }, obs.Label{Key: "cmd", Value: n})
+	}
+	reg.NewGaugeFunc("histserve_cmd_window_count", "bad: second site for a live name", count2) // want `metric "histserve_cmd_window_count" is registered at two sites`
+}
+
+func count2() float64 { return 0 }
+
 const namedSpan = "histcube.named_span"
 
 func spans(dynamic string) {

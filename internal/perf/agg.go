@@ -1,0 +1,86 @@
+package perf
+
+import "time"
+
+// Hist is a cumulative (non-windowed) latency histogram on the same
+// log-bucket layout as the windowed Recorder. cmd/histperf keeps one
+// per worker per command for client-side whole-run latency: unlike
+// obs.Series it never retains raw samples, so a multi-minute
+// closed-loop run at six-figure ops/sec costs a fixed ~2.6 KiB per
+// histogram instead of gigabytes. Methods are nil-receiver-safe; a
+// Hist is NOT safe for concurrent use (one per worker, merged after
+// the run).
+type Hist struct {
+	count   int64
+	sum     int64
+	max     int64
+	buckets [numBuckets]int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Record adds one duration sample.
+func (h *Hist) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	h.buckets[bucketIndex(ns)]++
+}
+
+// Merge folds other into h (for combining per-worker histograms).
+func (h *Hist) Merge(other *Hist) {
+	if h == nil || other == nil {
+		return
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the mean sample (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest sample seen (exact, not bucketed).
+func (h *Hist) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Quantile estimates the q-quantile with the nearest-rank rule on the
+// bucket upper bounds (<= 12.5% overestimate; 0 when empty).
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return mergedQuantile(&h.buckets, h.count, q)
+}

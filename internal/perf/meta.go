@@ -1,0 +1,60 @@
+package perf
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// RunMeta attributes a benchmark report to the build and machine that
+// produced it. cmd/histperf embeds it in every BENCH_*.json record and
+// cmd/histbench in every -json report, so old trajectory points stay
+// attributable to a revision — the regression gate is meaningless if
+// nobody can tell which build a number came from.
+type RunMeta struct {
+	Tool       string `json:"tool"`
+	GitRev     string `json:"git_rev"`
+	GitDirty   bool   `json:"git_dirty,omitempty"`
+	Date       string `json:"date"` // RFC 3339, UTC
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// CollectMeta gathers RunMeta for the running tool. The git revision
+// comes from the build info VCS stamp when present (go build in a git
+// checkout) and falls back to asking git itself, since `go run` and
+// test binaries are built without the stamp; "unknown" if neither
+// works.
+func CollectMeta(tool string) RunMeta {
+	m := RunMeta{
+		Tool:       tool,
+		GitRev:     "unknown",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRev = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	if m.GitRev == "unknown" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			if rev := strings.TrimSpace(string(out)); rev != "" {
+				m.GitRev = rev
+			}
+		}
+	}
+	return m
+}

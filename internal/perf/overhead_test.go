@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// perfSink defeats dead-code elimination in the benchmarks below.
+var perfSink int64
+
+// benchNilRecorder is the disabled shape: a nil *Recorder (and nil
+// *Set) driven through the full API must reduce to one branch per
+// call, exactly like the disabled tracer.
+func benchNilRecorder(b *testing.B) {
+	var r *Recorder
+	var s *Set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(time.Microsecond)
+		s.Record("QRY", time.Microsecond)
+		perfSink += int64(r.Window())
+	}
+}
+
+// benchEnabledRecorder is the live hot path cmd/histserve pays on
+// every request: one Set lookup plus one windowed Record (clock read,
+// epoch check, a handful of atomic adds).
+func benchEnabledRecorder(b *testing.B) {
+	s := NewSet(10*time.Second, "QRY", "INS", "other")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record("QRY", time.Duration(i%1000)*time.Microsecond)
+	}
+	perfSink += s.Snapshot("QRY").Count
+}
+
+func BenchmarkNilRecorder(b *testing.B)     { benchNilRecorder(b) }
+func BenchmarkEnabledRecorder(b *testing.B) { benchEnabledRecorder(b) }
+
+// TestRecorderOverhead extends the trace-overhead CI guard to the perf
+// recorder (check.sh "overhead guards" step): the disabled path must
+// stay within the tracer's <= 5 ns/call contract, the enabled path
+// within 150 ns/op — generous against CI noise but far below the
+// microsecond-scale request costs it measures — and neither may
+// allocate.
+func TestRecorderOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the ns/op measurement")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	nilRes := testing.Benchmark(benchNilRecorder)
+	if nilRes.N == 0 {
+		t.Fatal("nil benchmark did not run")
+	}
+	if allocs := nilRes.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("nil recorder allocates %d objects/op, want 0", allocs)
+	}
+	// The benchmark body makes 3 nil-safe calls at <= 5 ns each.
+	const nilBudget = 5.0 * 3
+	nsPerIter := float64(nilRes.T.Nanoseconds()) / float64(nilRes.N)
+	if nsPerIter > nilBudget {
+		t.Fatalf("nil recorder costs %.2f ns per 3-call iteration, want <= %.0f", nsPerIter, float64(nilBudget))
+	}
+
+	liveRes := testing.Benchmark(benchEnabledRecorder)
+	if liveRes.N == 0 {
+		t.Fatal("enabled benchmark did not run")
+	}
+	if allocs := liveRes.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("enabled recorder allocates %d objects/op, want 0", allocs)
+	}
+	liveNs := float64(liveRes.T.Nanoseconds()) / float64(liveRes.N)
+	const liveBudget = 150.0
+	if liveNs > liveBudget {
+		t.Fatalf("enabled recorder costs %.2f ns/op, want <= %.0f", liveNs, liveBudget)
+	}
+	t.Logf("recorder overhead: nil %.2f ns per 3-call iteration, enabled %.2f ns/op", nsPerIter, liveNs)
+}

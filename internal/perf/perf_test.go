@@ -1,0 +1,329 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"histcube/internal/obs"
+	"histcube/internal/stats"
+)
+
+// fakeClock drives a Recorder deterministically.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64              { return c.ns }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+func newTestRecorder(window time.Duration) (*Recorder, *fakeClock) {
+	r := New(window)
+	c := &fakeClock{}
+	r.clock = c.now
+	return r, c
+}
+
+func TestBucketLayout(t *testing.T) {
+	// Every representable value must land in a bucket whose upper
+	// bound is >= the value and overestimates by at most 1/subCount.
+	for _, ns := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 999,
+		1e3, 1e6, 123456789, 1e9, 55e9, int64(1) << maxOctave} {
+		i := bucketIndex(ns)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", ns, i)
+		}
+		up := bucketUpper(i)
+		if up < ns {
+			t.Errorf("bucketUpper(bucketIndex(%d)) = %d < value", ns, up)
+		}
+		if ns >= subCount && float64(up) > float64(ns)*(1+1.0/subCount) {
+			t.Errorf("bucket upper %d overestimates %d by more than 1/%d", up, ns, subCount)
+		}
+	}
+	// Bucket upper bounds must be strictly increasing (each value maps
+	// to exactly one quantile estimate).
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+	// Negative and over-range values clamp instead of panicking.
+	if got := bucketIndex(-5); got != 0 {
+		t.Errorf("bucketIndex(-5) = %d, want 0", got)
+	}
+	if got := bucketIndex(int64(1) << 62); got != numBuckets-1 {
+		t.Errorf("bucketIndex(1<<62) = %d, want last bucket %d", got, numBuckets-1)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(time.Millisecond)
+	if snap := r.Snapshot(); snap.Count != 0 {
+		t.Fatalf("nil recorder snapshot: %+v", snap)
+	}
+	if r.Window() != 0 {
+		t.Fatal("nil recorder window")
+	}
+	var s *Set
+	s.Record("QRY", time.Millisecond)
+	s.Register(nil)
+	if snap := s.Snapshot("QRY"); snap.Count != 0 {
+		t.Fatalf("nil set snapshot: %+v", snap)
+	}
+	if s.Names() != nil || s.Window() != 0 {
+		t.Fatal("nil set accessors")
+	}
+	var h *Hist
+	h.Record(time.Millisecond)
+	h.Merge(NewHist())
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("nil hist accessors")
+	}
+}
+
+// TestWindowRotation pins the sliding-window semantics: samples fall
+// out of the snapshot once the coarse clock moves their slot out of
+// the window, and a slot is re-zeroed when its ring position is
+// reused.
+func TestWindowRotation(t *testing.T) {
+	const window = 8 * time.Second // slotDur = 1s with recorderSlots = 8
+	r, c := newTestRecorder(window)
+
+	// 10 samples in the first second.
+	for i := 0; i < 10; i++ {
+		r.Record(time.Millisecond)
+	}
+	if got := r.Snapshot().Count; got != 10 {
+		t.Fatalf("count after first slot = %d, want 10", got)
+	}
+
+	// Four seconds later they are still inside the window...
+	c.advance(4 * time.Second)
+	r.Record(2 * time.Millisecond)
+	if got := r.Snapshot().Count; got != 11 {
+		t.Fatalf("count mid-window = %d, want 11", got)
+	}
+
+	// ...but once the clock passes slot 0's next revolution, the first
+	// batch must be gone while the mid-window sample survives.
+	c.advance(4 * time.Second) // t=8s: slot 0 lapses out of [1s, 8s]
+	if got := r.Snapshot().Count; got != 1 {
+		t.Fatalf("count after first slot lapsed = %d, want 1", got)
+	}
+
+	// Recording at t=8s reuses ring position 0; the snapshot must see
+	// the fresh sample, not 10+1 stale ones.
+	r.Record(3 * time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("count after rotation reuse = %d, want 2", snap.Count)
+	}
+	if snap.Max != 3*time.Millisecond {
+		t.Fatalf("max after rotation = %v, want 3ms", snap.Max)
+	}
+
+	// A full window of silence empties the snapshot entirely.
+	c.advance(2 * window)
+	snap = r.Snapshot()
+	if snap.Count != 0 || snap.OpsPerSec != 0 {
+		t.Fatalf("snapshot after idle window: %+v", snap)
+	}
+}
+
+// TestOpsPerSec pins the throughput math: count over covered time.
+func TestOpsPerSec(t *testing.T) {
+	r, c := newTestRecorder(8 * time.Second)
+	for i := 0; i < 4; i++ { // 100 ops/sec for 4 seconds
+		for j := 0; j < 100; j++ {
+			r.Record(time.Microsecond)
+		}
+		c.advance(time.Second)
+	}
+	snap := r.Snapshot()
+	if snap.Count != 400 {
+		t.Fatalf("count = %d, want 400", snap.Count)
+	}
+	// Covered time is 4s (oldest populated slot start to now).
+	if snap.OpsPerSec < 95 || snap.OpsPerSec > 105 {
+		t.Fatalf("ops/sec = %.1f, want ~100", snap.OpsPerSec)
+	}
+}
+
+// TestQuantileAccuracy feeds known distributions through both the
+// bucketed paths (windowed Recorder, cumulative Hist) and the exact
+// internal/stats reference, asserting the documented error bound: the
+// bucketed estimate never undershoots and overestimates by at most
+// 1/subCount plus one bucket of slack.
+func TestQuantileAccuracy(t *testing.T) {
+	distributions := map[string][]float64{
+		"uniform":   nil,
+		"lognormal": nil,
+		"bimodal":   nil,
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		distributions["uniform"] = append(distributions["uniform"], 1e3+rng.Float64()*1e6)
+		distributions["lognormal"] = append(distributions["lognormal"], 1e4*math.Exp(rng.NormFloat64()))
+		mode := 5e4
+		if rng.Intn(10) == 0 {
+			mode = 5e6 // 10% slow outliers, the tail p99 must see
+		}
+		distributions["bimodal"] = append(distributions["bimodal"], mode*(0.5+rng.Float64()))
+	}
+	for name, xs := range distributions {
+		r, _ := newTestRecorder(time.Hour) // one giant window: nothing lapses
+		h := NewHist()
+		for _, x := range xs {
+			r.Record(time.Duration(x))
+			h.Record(time.Duration(x))
+		}
+		snap := r.Snapshot()
+		for _, tc := range []struct {
+			q    float64
+			got  time.Duration
+			hist time.Duration
+		}{
+			{0.5, snap.P50, h.Quantile(0.5)},
+			{0.95, snap.P95, h.Quantile(0.95)},
+			{0.99, snap.P99, h.Quantile(0.99)},
+		} {
+			exact := stats.Quantile(xs, tc.q)
+			lo, hi := exact, exact*(1+1.0/subCount)*(1+1.0/subCount)
+			if g := float64(tc.got); g < lo || g > hi {
+				t.Errorf("%s p%.0f: recorder %v outside [%v, %v] (exact %v)",
+					name, tc.q*100, tc.got, time.Duration(lo), time.Duration(hi), time.Duration(exact))
+			}
+			if tc.hist != tc.got {
+				t.Errorf("%s p%.0f: Hist %v != Recorder %v on identical samples", name, tc.q*100, tc.hist, tc.got)
+			}
+		}
+		// Max is tracked exactly (the samples are ns-truncated floats,
+		// so compare against the truncated exact max).
+		if want := time.Duration(stats.Quantile(xs, 1)); snap.Max != want {
+			t.Errorf("%s: max %v != exact max %v (max is tracked exactly)", name, snap.Max, want)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewHist(), NewHist(), NewHist()
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatalf("merge digest mismatch: %d/%v/%v vs %d/%v/%v",
+			a.Count(), a.Max(), a.Mean(), all.Count(), all.Max(), all.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merge q%.2f: %v != %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentRecording is the -race guard of the issue checklist:
+// many goroutines hammer one Set across a rotating window while a
+// scraper snapshots concurrently. Correctness bar: no race reports, no
+// panics, and the final quiescent snapshot accounts exactly the
+// samples recorded into the live window.
+func TestConcurrentRecording(t *testing.T) {
+	set := NewSet(time.Hour, "QRY", "INS", "other") // nothing lapses: counts are exact
+	const (
+		goroutines = 16
+		perG       = 5000
+	)
+	var recorders, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = set.Snapshot("QRY")
+				_ = set.Snapshot("INS")
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		recorders.Add(1)
+		go func(g int) {
+			defer recorders.Done()
+			for i := 0; i < perG; i++ {
+				set.Record("QRY", time.Duration(g+1)*time.Microsecond)
+				set.Record("INS", time.Duration(i%100)*time.Microsecond)
+				set.Record("UNKNOWN", time.Second) // dropped, must not panic
+			}
+		}(g)
+	}
+	recorders.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := set.Snapshot("QRY").Count; got != goroutines*perG {
+		t.Fatalf("QRY count = %d, want %d", got, goroutines*perG)
+	}
+	if got := set.Snapshot("INS").Count; got != goroutines*perG {
+		t.Fatalf("INS count = %d, want %d", got, goroutines*perG)
+	}
+	if got := set.Snapshot("QRY").Max; got != goroutines*time.Microsecond {
+		t.Fatalf("QRY max = %v, want %v", got, goroutines*time.Microsecond)
+	}
+}
+
+// TestRegister renders the Set through an obs registry and checks the
+// exposed series carry the documented names and label sets.
+func TestRegister(t *testing.T) {
+	set := NewSet(time.Hour, "QRY", "INS")
+	set.Record("QRY", 10*time.Millisecond)
+	set.Record("QRY", 20*time.Millisecond)
+	reg := obs.NewRegistry()
+	set.Register(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`histserve_cmd_latency_seconds{cmd="QRY",stat="p50"}`,
+		`histserve_cmd_latency_seconds{cmd="QRY",stat="p99"}`,
+		`histserve_cmd_latency_seconds{cmd="INS",stat="max"}`,
+		`histserve_cmd_window_ops_per_sec{cmd="QRY"}`,
+		`histserve_cmd_window_count{cmd="QRY"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The p50 gauge must reflect the recorded samples (upper-bounded
+	// bucket estimate of 10ms, i.e. >= 0.010 and <= 0.012).
+	snap := set.Snapshot("QRY")
+	if snap.P50 < 10*time.Millisecond || snap.P50 > 12*time.Millisecond {
+		t.Errorf("p50 = %v, want ~10ms", snap.P50)
+	}
+}
+
+func TestCollectMeta(t *testing.T) {
+	m := CollectMeta("perftest")
+	if m.Tool != "perftest" || m.GoVersion == "" || m.GOMAXPROCS < 1 || m.OS == "" || m.Arch == "" {
+		t.Fatalf("incomplete meta: %+v", m)
+	}
+	if m.GitRev == "" {
+		t.Fatal("git rev must be a hash or \"unknown\", never empty")
+	}
+	if _, err := time.Parse(time.RFC3339, m.Date); err != nil {
+		t.Fatalf("date %q not RFC3339: %v", m.Date, err)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package perf
+
+const raceEnabled = false

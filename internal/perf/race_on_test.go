@@ -1,0 +1,7 @@
+//go:build race
+
+package perf
+
+// raceEnabled lets timing-sensitive tests skip under the race
+// detector, whose instrumentation inflates per-op costs ~10x.
+const raceEnabled = true
