@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench bench-smoke microbench fmt crash lint fuzz explain traceguard perfguard chaos
+.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint fuzz explain traceguard perfguard chaos shardchaos
 
 check:
 	./check.sh
@@ -41,6 +41,18 @@ bench-smoke:
 	    -conns 2 -duration 2s -warmup 500ms -quiet -out BENCH_smoke.json
 	go run ./cmd/histperf -compare -tolerance 0.9 BENCH_0001.json BENCH_smoke.json
 
+# Scatter-gather scaling: the same read mix against a single node and
+# against a 4-shard histproxy topology, as two consecutive
+# BENCH_<seq>.json trajectory points. On >= 4 cores the topology run
+# should show >= 2x the single-node ops/sec.
+shardbench:
+	go build -o bin/histserve ./cmd/histserve
+	go build -o bin/histproxy ./cmd/histproxy
+	go run ./cmd/histperf -serve-bin bin/histserve \
+	    -mixes read -conns 4 -duration 5s -warmup 1s -out auto
+	go run ./cmd/histperf -serve-bin bin/histserve -proxy-bin bin/histproxy \
+	    -shard-count 4 -mixes read -conns 4 -duration 5s -warmup 1s -out auto
+
 microbench:
 	go test -bench=. -benchmem ./...
 
@@ -49,6 +61,12 @@ crash:
 
 chaos:
 	go test -race -count=1 -v -run 'TestChaos' ./cmd/histserve/
+
+# Multi-shard chaos: SIGKILL a historic shard behind a live histproxy
+# mid-workload; answers must degrade to exact PARTIALs and recover to
+# complete once the shard rejoins, without a proxy restart.
+shardchaos:
+	go test -race -count=1 -v -run TestShardChaosPartialAnswersAndRejoin ./cmd/histproxy/
 
 explain:
 	go test -race -count=1 -v -run TestExplainSmokeRealBinary ./cmd/histserve/

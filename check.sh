@@ -42,6 +42,13 @@ echo "== seeded chaos suite (fault injection) =="
 # always answers or cleanly rejects.
 go test -race -count=1 -run 'TestChaos' ./cmd/histserve/
 
+echo "== multi-shard chaos (histproxy scatter-gather degradation) =="
+# SIGKILL one historic shard behind a live proxy mid-workload: every
+# answer over the dead range must be an exact PARTIAL (never a wrong
+# total presented as complete, never a hang), and the shard rejoining
+# on the same port restores complete answers without a proxy restart.
+go test -race -count=1 -run TestShardChaosPartialAnswersAndRejoin ./cmd/histproxy/
+
 echo "== disabled-tracer overhead guard (<= 5 ns/op) =="
 # Without -race on purpose: the guard benchmarks the nil-span hot path
 # and race instrumentation distorts timings (the test self-skips under

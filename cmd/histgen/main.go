@@ -9,6 +9,10 @@
 // The CSV format is one header line "# name=... slice=AxBxC time=N"
 // followed by "time,c1,...,cd,delta" per update, in transaction-time
 // order.
+//
+// -skew S (S > 1) replaces the data set's spatial placement with a
+// Zipf(S) draw per coordinate: low coordinates become hot spots, the
+// standard imbalance model for exercising histproxy shard topologies.
 package main
 
 import (
@@ -26,8 +30,14 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "geometry scale factor (1 = paper scale)")
 		out     = flag.String("out", "", "output file (default stdout)")
 		seed    = flag.Int64("seed", 0, "override the spec's RNG seed (0 = keep)")
+		skew    = flag.Float64("skew", 0, "Zipf exponent for coordinate hot spots (0 = spec placement; otherwise must be > 1)")
 	)
 	flag.Parse()
+
+	if *skew < 0 || (*skew > 0 && *skew <= 1) {
+		fmt.Fprintf(os.Stderr, "histgen: -skew %g must be > 1 (the Zipf exponent) or 0 to disable\n", *skew)
+		os.Exit(2)
+	}
 
 	var spec workload.Spec
 	switch *dataset {
@@ -52,6 +62,10 @@ func main() {
 	spec = spec.Scaled(*scale)
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	if *skew > 1 {
+		spec.Skew = *skew
+		spec.Name += fmt.Sprintf("+zipf%g", *skew)
 	}
 
 	ds := workload.Generate(spec)

@@ -5,8 +5,10 @@ package main
 // nonzero on regression, so check.sh and CI can gate on it.
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"sort"
 )
 
@@ -30,12 +32,12 @@ func compareReports(oldPath, newPath string, tol float64, out io.Writer) int {
 	}
 	oldR, err := readReport(oldPath)
 	if err != nil {
-		fmt.Fprintf(out, "histperf: %v\n", err)
+		reportReadError(out, "baseline", oldPath, err)
 		return 2
 	}
 	newR, err := readReport(newPath)
 	if err != nil {
-		fmt.Fprintf(out, "histperf: %v\n", err)
+		reportReadError(out, "candidate", newPath, err)
 		return 2
 	}
 
@@ -88,6 +90,17 @@ func compareReports(oldPath, newPath string, tol float64, out io.Writer) int {
 	}
 	fmt.Fprintf(out, "histperf: %d mix(es) within tolerance %g of %s\n", len(names), tol, oldPath)
 	return 0
+}
+
+// reportReadError renders a compare input failure as a usage error:
+// which role the file played, what went wrong, and — for the common
+// case of a baseline that was simply never recorded — how to produce
+// one.
+func reportReadError(out io.Writer, role, path string, err error) {
+	fmt.Fprintf(out, "histperf: %s report %s: %v\n", role, path, err)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(out, "hint: no such file — record it first with: histperf -serve-bin ./bin/histserve -out %s\n", path)
+	}
 }
 
 func errorRate(m *MixResult) float64 {

@@ -142,6 +142,49 @@ func TestCompareUsageErrors(t *testing.T) {
 	}
 }
 
+// TestCompareMissingBaselineHint: a baseline that was never recorded
+// is a usage error (exit 2) with an actionable hint, not a bare file
+// error — and the hint flows through the real -compare flag surface.
+func TestCompareMissingBaselineHint(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTemp(t, dir, "good.json", canned())
+	absent := filepath.Join(dir, "BENCH_baseline.json")
+
+	var out bytes.Buffer
+	if code := compareReports(absent, good, 0.25, &out); code != 2 {
+		t.Fatalf("missing baseline -> exit %d, want 2; output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "baseline report "+absent) {
+		t.Errorf("output does not name the baseline file: %q", got)
+	}
+	if !strings.Contains(got, "hint:") || !strings.Contains(got, "record it first") {
+		t.Errorf("output carries no record-a-baseline hint: %q", got)
+	}
+
+	// Unreadable (malformed) baseline: still exit 2, no bogus hint.
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := compareReports(junk, good, 0.25, &out); code != 2 {
+		t.Fatalf("malformed baseline -> exit %d, want 2", code)
+	}
+	if strings.Contains(out.String(), "hint:") {
+		t.Errorf("malformed (existing) baseline should not suggest recording one: %q", out.String())
+	}
+
+	// Through the flag surface.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", absent, good}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-compare missing-baseline) -> %d, want 2", code)
+	}
+	if !strings.Contains(stdout.String(), "hint:") {
+		t.Errorf("run path lost the hint: stdout=%q stderr=%q", stdout.String(), stderr.String())
+	}
+}
+
 // TestCompareViaRun drives the verdict through the real flag surface:
 // `histperf -compare old new` must propagate the nonzero exit.
 func TestCompareViaRun(t *testing.T) {
@@ -174,6 +217,10 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-addr", "y", "-duration", "0s"},             // bad duration
 		{"-addr", "y", "-mode", "open", "-rate", "0"}, // bad rate
 		{"-addr", "y", "stray"},                       // stray args
+		{"-addr", "y", "-skew", "0.5"},                // Zipf exponent must be > 1
+		{"-serve-bin", "x", "-shard-count", "1"},      // topology needs >= 2 shards
+		{"-serve-bin", "x", "-shard-count", "4"},      // topology without -proxy-bin
+		{"-addr", "y", "-proxy-bin", "p"},             // -proxy-bin without -shard-count
 	}
 	for _, argv := range cases {
 		if code := run(argv, &stdout, &stderr); code != 2 {

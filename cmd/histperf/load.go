@@ -15,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"histcube/internal/dims"
 	"histcube/internal/perf"
+	"histcube/internal/workload"
 )
 
 // loadConfig holds everything one run needs. Exactly one of Bin
@@ -31,9 +33,16 @@ type loadConfig struct {
 	Duration    time.Duration
 	Warmup      time.Duration
 	Seed        int64
-	Mixes       []string
-	ProfileDir  string
-	Log         io.Writer // progress lines; nil silences
+	// Skew > 1 draws seed/write coordinates from a Zipf distribution
+	// with that exponent (hot spots on low coordinates); 0 = uniform.
+	Skew float64
+	// ShardCount > 1 launches that many Bin shards behind a ProxyBin
+	// histproxy and drives the load through the proxy.
+	ShardCount int
+	ProxyBin   string
+	Mixes      []string
+	ProfileDir string
+	Log        io.Writer // progress lines; nil silences
 }
 
 // mixSpec shapes one workload mix.
@@ -82,7 +91,15 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	}
 
 	addr, metricsAddr := cfg.Addr, cfg.MetricsAddr
-	if cfg.Bin != "" {
+	switch {
+	case cfg.ShardCount > 1:
+		topo, err := launchTopology(cfg.Bin, cfg.ProxyBin, cfg.Dims, cfg.ShardCount, seedSlices)
+		if err != nil {
+			return nil, err
+		}
+		defer topo.stop()
+		addr, metricsAddr = topo.proxy.addr, topo.proxy.metricsAddr
+	case cfg.Bin != "":
 		proc, err := launchServer(cfg.Bin, cfg.Dims, nil)
 		if err != nil {
 			return nil, err
@@ -103,8 +120,21 @@ func runLoad(cfg loadConfig) (*Report, error) {
 			WarmupSeconds:   cfg.Warmup.Seconds(),
 			Dims:            cfg.Dims,
 			Seed:            cfg.Seed,
+			Skew:            cfg.Skew,
+			ShardCount:      cfg.ShardCount,
 		},
 		Mixes: make(map[string]*MixResult, len(spec)),
+	}
+	// The target self-reports its build (VERSION is new in this
+	// protocol revision; older binaries answer ERR and the field stays
+	// empty), so the BENCH record can verify which binary it hit.
+	if ctl, err := dialWire(addr); err == nil {
+		if v, err := ctl.do("VERSION"); err == nil {
+			if rest, ok := strings.CutPrefix(v, "OK "); ok {
+				report.ServerVersion = rest
+			}
+		}
+		ctl.Close()
 	}
 	for i, m := range spec {
 		eng.logf("mix %s: seeding %d slices x %d cells", m.name, seedSlices, seedCells)
@@ -280,10 +310,11 @@ func (e *engine) runMix(m mixSpec, seed int64) (*MixResult, error) {
 // stays hot until a later insert seals it, so it is excluded).
 func (e *engine) seedRegion(ctl *wireConn, seed int64) (lo, hi int64, err error) {
 	rng := rand.New(rand.NewSource(seed))
+	gen := workload.CoordGen(rng, dims.Shape(e.shape), e.cfg.Skew)
 	base := e.cursor.Load()
 	for t := base; t < base+seedSlices; t++ {
 		for k := 0; k < seedCells; k++ {
-			line := insLine(t, randomCoords(rng, e.shape), 1)
+			line := insLine(t, gen(), 1)
 			resp, err := ctl.do(line)
 			if err != nil {
 				return 0, 0, err
@@ -337,11 +368,13 @@ func (e *engine) dialWorkers(m mixSpec, seed, regionLo, regionHi int64, pool []s
 			}
 			return nil, err
 		}
+		rng := rand.New(rand.NewSource(seed + int64(i)*104729))
 		workers[i] = &worker{
 			eng:      e,
 			mix:      m,
 			conn:     conn,
-			rng:      rand.New(rand.NewSource(seed + int64(i)*104729)),
+			rng:      rng,
+			coords:   workload.CoordGen(rng, dims.Shape(e.shape), e.cfg.Skew),
 			pool:     pool,
 			regionLo: regionLo,
 			regionHi: regionHi,
@@ -413,6 +446,7 @@ type worker struct {
 	mix      mixSpec
 	conn     *wireConn
 	rng      *rand.Rand
+	coords   func() []int // seed/write coordinate generator (uniform or Zipf)
 	pool     []string
 	regionLo int64
 	regionHi int64
@@ -465,7 +499,7 @@ func (w *worker) oneOp(scheduled time.Time, record bool) error {
 		if w.rng.Intn(256) == 0 {
 			w.eng.cursor.Add(1)
 		}
-		line = insLine(w.eng.cursor.Load(), randomCoords(w.rng, w.eng.shape), 1)
+		line = insLine(w.eng.cursor.Load(), w.coords(), 1)
 	}
 	resp, err := w.conn.do(line)
 	lat := time.Since(scheduled)
@@ -553,14 +587,6 @@ func insLine(t int64, coords []int, v float64) string {
 	}
 	fmt.Fprintf(&b, " %g", v)
 	return b.String()
-}
-
-func randomCoords(rng *rand.Rand, shape []int) []int {
-	coords := make([]int, len(shape))
-	for i, n := range shape {
-		coords[i] = rng.Intn(n)
-	}
-	return coords
 }
 
 // parseShape parses the -dims argument ("16,16") into sizes.

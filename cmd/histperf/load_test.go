@@ -257,6 +257,77 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 }
 
+// buildProxy compiles the real histproxy binary for topology tests.
+func buildProxy(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH; cannot build histproxy")
+	}
+	bin := filepath.Join(t.TempDir(), "histproxy")
+	out, err := exec.Command("go", "build", "-o", bin, "histcube/cmd/histproxy").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building histproxy: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestTopologySmoke drives a short skewed read/write load through a
+// real 3-shard histproxy topology and checks the report: the proxy
+// self-reports its build, the config block records the topology, the
+// scraped proxy deltas show real scatter-gather fan-out, and no query
+// degraded to PARTIAL (all shards stayed up).
+func TestTopologySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping real-binary topology smoke in -short mode")
+	}
+	report, err := runLoad(loadConfig{
+		Bin:        buildServer(t),
+		ProxyBin:   buildProxy(t),
+		ShardCount: 3,
+		Dims:       "8,8",
+		Mode:       "closed",
+		Conns:      2,
+		Duration:   time.Second,
+		Warmup:     100 * time.Millisecond,
+		Seed:       3,
+		Skew:       1.5,
+		Mixes:      []string{"read", "write"},
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	if report.Config.ShardCount != 3 || report.Config.Skew != 1.5 {
+		t.Errorf("config block lost the topology: %+v", report.Config)
+	}
+	if !strings.HasPrefix(report.ServerVersion, "histproxy rev=") {
+		t.Errorf("server_version = %q, want the proxy's VERSION reply", report.ServerVersion)
+	}
+	for _, name := range []string{"read", "write"} {
+		m := report.Mixes[name]
+		if m == nil {
+			t.Fatalf("mix %s missing from report", name)
+		}
+		if m.Ops < 100 {
+			t.Errorf("mix %s: only %d ops", name, m.Ops)
+		}
+		if m.Errors != 0 {
+			t.Errorf("mix %s: %d protocol errors", name, m.Errors)
+		}
+		if m.ServerDeltas["partials"] != 0 {
+			t.Errorf("mix %s: %v PARTIAL answers with every shard up", name, m.ServerDeltas["partials"])
+		}
+	}
+	// The read mix's queries span the seeded region, which the shard
+	// map partitions: legs must outnumber queries (real fan-out).
+	read := report.Mixes["read"]
+	if legs, qrys := read.ServerDeltas["fanout_legs"], read.ServerDeltas["requests_qry"]; legs <= qrys {
+		t.Errorf("read mix: %v fan-out legs for %v queries, want scatter-gather > 1 leg/query", legs, qrys)
+	}
+	if read.ServerDeltas["leg_failures"] != 0 {
+		t.Errorf("read mix: %v leg failures with every shard up", read.ServerDeltas["leg_failures"])
+	}
+}
+
 // TestOpenLoopSmoke runs a brief paced load and checks the measured
 // rate lands near the configured arrival rate (closed-loop saturation
 // would be far higher).

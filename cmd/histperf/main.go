@@ -26,6 +26,19 @@
 // cells-touched per query before and after: the paper's DDC->PS
 // regime transition (Figures 10/11) in hardware-independent units.
 //
+// Topology mode:
+//
+//	histperf -serve-bin ./bin/histserve -proxy-bin ./bin/histproxy \
+//	    -shard-count 4 -dims 16,16 -mixes read -out auto
+//
+// launches N histserve shards partitioning the first mix's seeded
+// time region evenly (last shard open-ended for the hot frontier),
+// fronts them with a histproxy, and drives the load through the proxy
+// — the scatter-gather scaling curve in the same BENCH format, with
+// shard_count recorded in the config block. -skew S (Zipf, S > 1)
+// concentrates seed/write coordinates into hot spots for imbalance
+// experiments.
+//
 // Compare mode:
 //
 //	histperf -compare old.json new.json -tolerance 0.25
@@ -67,6 +80,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		duration    = fs.Duration("duration", 5*time.Second, "timed phase per mix")
 		warmup      = fs.Duration("warmup", time.Second, "warmup per mix (unrecorded)")
 		seed        = fs.Int64("seed", 1, "workload generator seed")
+		skew        = fs.Float64("skew", 0, "Zipf exponent for seed/write coordinate hot spots (0 = uniform; otherwise must be > 1)")
+		shardCount  = fs.Int("shard-count", 0, "launch a sharded topology: this many histserve shards behind a histproxy (requires -serve-bin and -proxy-bin)")
+		proxyBin    = fs.String("proxy-bin", "", "histproxy binary for the -shard-count topology")
 		mixesArg    = fs.String("mixes", "read,write,mixed,convergence", "comma-separated mixes to run")
 		profileDir  = fs.String("profile-dir", "", "capture pprof profiles (cpu per mix, heap/mutex/block) into this directory")
 		out         = fs.String("out", "-", `report destination: a path, "-" for stdout, or "auto" for the next BENCH_<seq>.json`)
@@ -100,6 +116,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "histperf: -conns, -duration and (open mode) -rate must be positive")
 		return 2
 	}
+	if *skew < 0 || (*skew > 0 && *skew <= 1) {
+		fmt.Fprintf(stderr, "histperf: -skew %g must be > 1 (the Zipf exponent) or 0 for uniform\n", *skew)
+		return 2
+	}
+	if *shardCount != 0 {
+		if *shardCount < 2 {
+			fmt.Fprintf(stderr, "histperf: -shard-count %d: a topology needs at least 2 shards\n", *shardCount)
+			return 2
+		}
+		if *serveBin == "" || *proxyBin == "" {
+			fmt.Fprintln(stderr, "histperf: -shard-count needs both -serve-bin (the shards) and -proxy-bin (the router)")
+			return 2
+		}
+	} else if *proxyBin != "" {
+		fmt.Fprintln(stderr, "histperf: -proxy-bin without -shard-count does nothing; pass -shard-count N")
+		return 2
+	}
 
 	cfg := loadConfig{
 		Bin:         *serveBin,
@@ -112,6 +145,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Duration:    *duration,
 		Warmup:      *warmup,
 		Seed:        *seed,
+		Skew:        *skew,
+		ShardCount:  *shardCount,
+		ProxyBin:    *proxyBin,
 		Mixes:       splitMixes(*mixesArg),
 		ProfileDir:  *profileDir,
 	}

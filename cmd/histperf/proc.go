@@ -38,12 +38,18 @@ type serverProc struct {
 // plus -ooo (concurrent writers interleave times; rejections would
 // pollute the error counts) and waits for both listen addresses.
 func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
-	args := append([]string{
+	return launchProc(bin, append([]string{
 		"-addr", "127.0.0.1:0",
 		"-metrics", "127.0.0.1:0",
 		"-dims", dims,
 		"-ooo",
-	}, extraArgs...)
+	}, extraArgs...))
+}
+
+// launchProc starts any line-protocol server binary (histserve or
+// histproxy — both log `listening addr=` and `metrics listening
+// addr=` through slog) and waits for its listen addresses.
+func launchProc(bin string, args []string) (*serverProc, error) {
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -70,7 +76,7 @@ func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
 		case line, ok := <-lines:
 			if !ok {
 				p.stop()
-				return nil, fmt.Errorf("histserve exited before listening; stderr:\n%s", strings.Join(p.stderr, "\n"))
+				return nil, fmt.Errorf("%s exited before listening; stderr:\n%s", bin, strings.Join(p.stderr, "\n"))
 			}
 			p.stderr = append(p.stderr, line)
 			if m := metricsRE.FindStringSubmatch(line); m != nil {
@@ -83,7 +89,7 @@ func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
 			}
 		case <-deadline:
 			p.stop()
-			return nil, fmt.Errorf("histserve did not listen within %s", launchWaitTO)
+			return nil, fmt.Errorf("%s did not listen within %s", bin, launchWaitTO)
 		}
 	}
 	// Keep draining stderr so the child never blocks on a full pipe.
@@ -92,6 +98,65 @@ func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
 		}
 	}()
 	return p, nil
+}
+
+// topology is a sharded fleet: N histserve shards behind a histproxy.
+type topology struct {
+	shards []*serverProc
+	proxy  *serverProc
+}
+
+func (t *topology) stop() {
+	if t == nil {
+		return
+	}
+	t.proxy.stop()
+	for _, s := range t.shards {
+		s.stop()
+	}
+}
+
+// launchTopology starts shardCount histserve shards and a histproxy
+// routing over them. The shard map partitions [0, timeSpan) — the
+// first mix's seeded time region — evenly, with the last shard
+// open-ended so it also absorbs the hot append frontier; a read mix
+// over the seeded region therefore fans across every shard.
+func launchTopology(serveBin, proxyBin, dims string, shardCount, timeSpan int) (*topology, error) {
+	if shardCount > timeSpan {
+		return nil, fmt.Errorf("-shard-count %d exceeds the %d seeded time slices: shards would own empty ranges", shardCount, timeSpan)
+	}
+	topo := &topology{}
+	var spec strings.Builder
+	for i := 0; i < shardCount; i++ {
+		sh, err := launchServer(serveBin, dims, nil)
+		if err != nil {
+			topo.stop()
+			return nil, fmt.Errorf("launching shard %d/%d: %w", i+1, shardCount, err)
+		}
+		topo.shards = append(topo.shards, sh)
+		lo := i * timeSpan / shardCount
+		if i > 0 {
+			spec.WriteByte(',')
+		}
+		if i == shardCount-1 {
+			fmt.Fprintf(&spec, "%s=%d-", sh.addr, lo)
+		} else {
+			hi := (i+1)*timeSpan/shardCount - 1
+			fmt.Fprintf(&spec, "%s=%d-%d", sh.addr, lo, hi)
+		}
+	}
+	proxy, err := launchProc(proxyBin, []string{
+		"-addr", "127.0.0.1:0",
+		"-metrics", "127.0.0.1:0",
+		"-dims", dims,
+		"-shards", spec.String(),
+	})
+	if err != nil {
+		topo.stop()
+		return nil, fmt.Errorf("launching histproxy: %w", err)
+	}
+	topo.proxy = proxy
+	return topo, nil
 }
 
 // stop kills and reaps the child; benchmark servers hold no durable
@@ -215,6 +280,17 @@ var serverDeltaKeys = map[string]string{
 	`histserve_errors_total{cmd="INS"}`:                  "errors_ins",
 	`histcube_ecube_conversions_total{trigger="query"}`:  "conversions_query",
 	`histcube_ecube_conversions_total{trigger="append"}`: "conversions_append",
+	// Topology runs scrape the proxy instead of a shard: the same
+	// request/error series under the histproxy_ prefix, plus the
+	// scatter-gather health counters. Only the series present in the
+	// scrape are reported, so single-node and topology runs never mix.
+	`histproxy_requests_total{cmd="QRY"}`: "requests_qry",
+	`histproxy_requests_total{cmd="INS"}`: "requests_ins",
+	`histproxy_errors_total{cmd="QRY"}`:   "errors_qry",
+	`histproxy_errors_total{cmd="INS"}`:   "errors_ins",
+	`histproxy_partials_total`:            "partials",
+	`histproxy_fanout_legs_total`:         "fanout_legs",
+	`histproxy_leg_failures_total`:        "leg_failures",
 }
 
 // metricsDelta reports after-before for the series of interest.

@@ -23,6 +23,11 @@ type Report struct {
 	Format string       `json:"format"`
 	Meta   perf.RunMeta `json:"meta"`
 	Config RunConfig    `json:"config"`
+	// ServerVersion is the target's own VERSION reply (histserve or
+	// histproxy self-reporting its git revision), so the record proves
+	// which binary it actually hit. Empty when the target predates the
+	// VERSION command.
+	ServerVersion string `json:"server_version,omitempty"`
 	// Mixes is keyed by mix name (read, write, mixed, convergence).
 	Mixes map[string]*MixResult `json:"mixes"`
 }
@@ -36,6 +41,12 @@ type RunConfig struct {
 	WarmupSeconds   float64 `json:"warmup_seconds"`
 	Dims            string  `json:"dims"`
 	Seed            int64   `json:"seed"`
+	// Skew is the Zipf exponent of the coordinate hot-spot generator
+	// (0 = uniform).
+	Skew float64 `json:"skew,omitempty"`
+	// ShardCount > 1 marks a topology run: that many histserve shards
+	// behind a histproxy, with the load driven through the proxy.
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
 // LatencyDigest is the standard client-side latency block, in

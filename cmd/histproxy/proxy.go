@@ -1,0 +1,944 @@
+// Command histproxy is the scatter-gather router in front of a
+// time-range-sharded histserve fleet. It speaks the same line protocol
+// on both sides — unmodified clients connect to it exactly as they
+// would to a single histserve, and it talks plain histserve protocol
+// to every shard — so sharding is a deployment decision, not a client
+// change.
+//
+// Usage:
+//
+//	histproxy -addr :7071 -dims 16,16 \
+//	    -shards "h1:7072=0-999,h2:7073=1000-1999,hot:7074=2000-" \
+//	    [-metrics :9091] [-seal-historic]
+//
+// The -shards map assigns each backend an inclusive transaction-time
+// range; ranges must be contiguous and exactly the last is open-ended
+// (the hot shard taking appends). Why this is correct — and cheap — is
+// the paper's Sec. 2.2 reduction: a d-dimensional range query is
+// answered by prefix differences along time, and SUM/COUNT are
+// invertible, so the answer over [tlo, thi] is exactly the sum of the
+// answers over the per-shard clamps of that interval. internal/shard
+// computes the clamps (Route) and the deterministic merge (Merge).
+//
+// Request handling:
+//
+//	INS/DEL  routed to the single shard owning the timestamp (Locate);
+//	         the shard's reply is relayed verbatim.
+//	QRY      fanned out concurrently to every overlapped shard over
+//	         pooled connections (internal/shardclient), partial sums
+//	         merged by addition. All legs answered -> the plain number,
+//	         bit-identical to a single cube holding all the data.
+//	EXPLAIN  fanned out as EXPLAIN QRY; the proxy renders its own span
+//	         tree (proxy.query root, one proxy.leg child per shard) and
+//	         sums the shards' paper-unit cost totals.
+//	STATS    fanned out; numeric fields are summed across shards
+//	         (window and percentile fields take the max; sealed_through
+//	         takes the max; non-numeric fields like git_rev are
+//	         skipped), prefixed with proxy-level shards=/shards_up=.
+//	VERSION  answered by the proxy itself (its own build revision).
+//	SHARDS   the shard map with live health, END-terminated.
+//
+// Degraded answers instead of failures: when a shard is down, times
+// out, or its circuit breaker is open (internal/shardclient trips it
+// on consecutive transport failures), a read query is NOT an error and
+// does NOT hang — the proxy answers
+//
+//	PARTIAL <value> covered=<ranges> missing=<addr=lo-hi,...>
+//
+// carrying the exact sum over the live time ranges and naming the
+// holes. A wrong total is never presented as complete. Mutations to a
+// dead shard fail explicitly (a write cannot be partial). When the
+// shard rejoins, the breaker's half-open probe (plus the background
+// prober) restores complete answers without a proxy restart.
+//
+// With -seal-historic the proxy demotes every closed-range shard at
+// startup by issuing SEAL <hi> — a misrouted or replayed mutation
+// cannot silently land in history another shard answers for.
+//
+// The proxy carries the same production treatment as histserve:
+// per-command sliding-window latency recorders (internal/perf,
+// histproxy_cmd_* gauges), histproxy_* request/error/partial counters
+// and per-shard health gauges on -metrics (/metrics, /healthz,
+// /readyz gated on the shard map being loaded, /debug/perf,
+// /debug/trace/recent, /debug/pprof/*), request timeouts, -max-conns
+// and line-length governance, and per-request panic recovery.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"histcube/internal/obs"
+	"histcube/internal/perf"
+	"histcube/internal/retry"
+	"histcube/internal/shard"
+	"histcube/internal/shardclient"
+	"histcube/internal/trace"
+)
+
+// commands lists every protocol verb the proxy accounts, mirroring
+// histserve's label discipline ("other" catches unknown verbs).
+var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "STATS", "VERSION", "SHARDS", "QUIT", "other"}
+
+// errInternal is the client-visible face of a recovered panic.
+var errInternal = errors.New("internal error (recovered panic; see proxy log)")
+
+type proxy struct {
+	smap    *shard.Map
+	clients []*shardclient.Client // parallel to smap.Shards()
+	dims    int
+
+	reg    *obs.Registry
+	log    *slog.Logger
+	perf   *perf.Set
+	recent *trace.Ring
+	meta   perf.RunMeta
+
+	// ready gates /readyz on the shard map being loaded and the client
+	// layer built; flipped just before the listener starts.
+	ready atomic.Bool
+
+	// Governance, set from flags before serving (startup-only).
+	reqTimeout  time.Duration
+	readTimeout time.Duration
+	maxLineLen  int
+	maxConns    int64
+
+	liveConns atomic.Int64
+	connSeq   atomic.Int64
+
+	connections *obs.Gauge
+	connTotal   *obs.Counter
+	inflight    *obs.Gauge
+	requests    map[string]*obs.Counter
+	errors      map[string]*obs.Counter
+	partials    *obs.Counter
+	fanoutLegs  *obs.Counter
+	legFailures *obs.Counter
+	connRejects *obs.Counter
+	panics      *obs.Counter
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7071", "listen address")
+		dimsArg  = flag.Int("dims-count", 0, "number of non-time dimensions (alternative to -dims)")
+		dimsList = flag.String("dims", "", "comma-separated dimension sizes, as passed to the shards (only the count matters to the proxy)")
+		shards   = flag.String("shards", "", "shard map: addr=lo-hi,...,addr=lo- (contiguous inclusive time ranges; the last is the open-ended hot shard)")
+		metrics  = flag.String("metrics", "", "optional HTTP listen address serving /metrics, /healthz, /readyz (e.g. :9091)")
+		reqTO    = flag.Duration("request-timeout", 10*time.Second, "per-request deadline; 0 disables")
+		legTO    = flag.Duration("shard-timeout", 2*time.Second, "per-shard round-trip deadline inside a fan-out; keep well under -request-timeout so one dead shard degrades the answer instead of timing the request out")
+		readTO   = flag.Duration("read-timeout", 5*time.Minute, "close client connections idle for this long; also bounds each response write; 0 disables")
+		maxLine  = flag.Int("max-line-bytes", 1<<20, "largest accepted request line in bytes")
+		maxConn  = flag.Int64("max-conns", 256, "open client connections accepted at once; 0 = unlimited")
+		poolSize = flag.Int("pool-size", 4, "pooled connections kept per shard")
+		brkN     = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a shard's circuit breaker")
+		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects before the half-open trial")
+		probeIv  = flag.Duration("probe-every", 500*time.Millisecond, "background health-probe interval for unhealthy shards; 0 disables (rejoin then waits for client traffic)")
+		perfWin  = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests")
+		sealHist = flag.Bool("seal-historic", false, "at startup, demote every closed-range shard with SEAL <hi> so misrouted mutations cannot land in owned history")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *shards == "" {
+		logger.Error("missing -shards: the proxy needs a shard map (addr=lo-hi,...,addr=lo-)")
+		os.Exit(2)
+	}
+	dims := *dimsArg
+	if dims == 0 && *dimsList != "" {
+		dims = len(strings.Split(*dimsList, ","))
+	}
+	if dims <= 0 {
+		logger.Error("missing dimension count: pass -dims (the shard fleet's sizes) or -dims-count")
+		os.Exit(2)
+	}
+	smap, err := shard.Parse(*shards)
+	if err != nil {
+		logger.Error("bad -shards map", "err", err)
+		os.Exit(2)
+	}
+	p := newProxy(smap, dims, *perfWin, shardclient.Options{
+		PoolSize:         *poolSize,
+		OpTimeout:        *legTO,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
+		DialRetry:        retry.Policy{Attempts: 2, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5},
+	})
+	p.log = logger
+	p.reqTimeout = *reqTO
+	p.readTimeout = *readTO
+	p.maxLineLen = *maxLine
+	p.maxConns = *maxConn
+
+	if *metrics != "" {
+		mln, err := p.serveMetrics(*metrics)
+		if err != nil {
+			logger.Error("metrics listener failed", "addr", *metrics, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("metrics listening", "addr", mln.Addr().String())
+	}
+	if *sealHist {
+		go p.sealHistoric()
+	}
+	if *probeIv > 0 {
+		go p.probeLoop(*probeIv)
+	}
+	p.ready.Store(true)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	var closing atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Info("shutdown signal received", "signal", s.String())
+		closing.Store(true)
+		_ = ln.Close() // unblocking Accept is the point
+	}()
+	logger.Info("listening", "addr", ln.Addr().String(), "shards", smap.String(), "dims", dims)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if closing.Load() {
+				for _, c := range p.clients {
+					c.Close()
+				}
+				logger.Info("shutdown complete")
+				return
+			}
+			logger.Error("accept failed", "err", err)
+			os.Exit(1)
+		}
+		go p.handle(conn)
+	}
+}
+
+func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardclient.Options) *proxy {
+	if perfWindow <= 0 {
+		perfWindow = 10 * time.Second
+	}
+	p := &proxy{
+		smap:       smap,
+		dims:       dims,
+		reg:        obs.NewRegistry(),
+		log:        slog.Default(),
+		perf:       perf.NewSet(perfWindow, commands...),
+		recent:     trace.NewRing(64),
+		meta:       perf.CollectMeta("histproxy"),
+		maxLineLen: 1 << 20,
+	}
+	for _, s := range smap.Shards() {
+		p.clients = append(p.clients, shardclient.New(s.Addr, copts))
+	}
+	p.perf.RegisterProxy(p.reg)
+	p.connections = p.reg.NewGauge("histproxy_connections", "Open client connections.")
+	p.connTotal = p.reg.NewCounter("histproxy_connections_total", "Client connections accepted since start.")
+	p.inflight = p.reg.NewGauge("histproxy_inflight_requests", "Requests currently being dispatched.")
+	p.requests = make(map[string]*obs.Counter, len(commands))
+	p.errors = make(map[string]*obs.Counter, len(commands))
+	for _, cmd := range commands {
+		p.requests[cmd] = p.reg.NewCounter("histproxy_requests_total",
+			"Requests dispatched, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
+		p.errors[cmd] = p.reg.NewCounter("histproxy_errors_total",
+			"Requests answered with ERR, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
+	}
+	p.partials = p.reg.NewCounter("histproxy_partials_total",
+		"Read queries answered PARTIAL because at least one shard leg failed.")
+	p.fanoutLegs = p.reg.NewCounter("histproxy_fanout_legs_total",
+		"Shard legs dispatched across all fan-outs.")
+	p.legFailures = p.reg.NewCounter("histproxy_leg_failures_total",
+		"Shard legs that failed (transport error, timeout, or open breaker).")
+	p.connRejects = p.reg.NewCounter("histproxy_connections_rejected_total",
+		"Connections rejected at the -max-conns cap.")
+	p.panics = p.reg.NewCounter("histproxy_panics_recovered_total",
+		"Request panics recovered into ERR internal responses.")
+	for i, s := range smap.Shards() {
+		c := p.clients[i]
+		p.reg.NewGaugeFunc("histproxy_shard_up",
+			"1 while the shard's circuit breaker is closed, 0 while it is open.",
+			func() float64 {
+				if c.Healthy() {
+					return 1
+				}
+				return 0
+			}, obs.Label{Key: "shard", Value: s.Addr})
+	}
+	return p
+}
+
+// sealHistoric demotes every closed-range shard by sealing its range's
+// upper bound: the shard keeps serving reads but rejects mutations into
+// the history this map says it owns. Best-effort at startup — a shard
+// that is down right now logs a warning and stays unsealed until an
+// operator (or a restart) seals it.
+func (p *proxy) sealHistoric() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, s := range p.smap.Shards() {
+		if s.Range.Hi == shard.Open {
+			continue // the hot shard stays writable
+		}
+		resp, err := p.clients[i].Do(ctx, fmt.Sprintf("SEAL %d", s.Range.Hi), false)
+		if err != nil || !strings.HasPrefix(resp, "OK") {
+			p.log.Warn("sealing historic shard failed", "shard", s.Addr, "resp", resp, "err", err)
+			continue
+		}
+		p.log.Info("sealed historic shard", "shard", s.Addr, "through", s.Range.Hi)
+	}
+}
+
+// probeLoop keeps probing unhealthy shards so a rejoining shard's
+// breaker closes from the background, not only from client traffic.
+func (p *proxy) probeLoop(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for range tick.C {
+		for i, c := range p.clients {
+			if c.Healthy() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), every)
+			err := c.Probe(ctx)
+			cancel()
+			if err == nil {
+				p.log.Info("shard rejoined", "shard", p.smap.Shards()[i].Addr)
+			}
+		}
+	}
+}
+
+func (p *proxy) serveMetrics(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.reg.WritePrometheus(w); err != nil {
+			p.log.Error("metrics render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !p.ready.Load() {
+			http.Error(w, "loading shard map", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "ok shards=%d up=%d\n", p.smap.Len(), p.shardsUp())
+	})
+	mux.HandleFunc("/debug/perf", func(w http.ResponseWriter, r *http.Request) {
+		byCmd := make(map[string]perf.Snapshot, len(commands))
+		for _, cmd := range p.perf.Names() {
+			byCmd[cmd] = p.perf.Snapshot(cmd)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"window_ns": p.perf.Window().Nanoseconds(),
+			"commands":  byCmd,
+		}); err != nil {
+			p.log.Error("perf JSON render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		type entryJSON struct {
+			Line       string          `json:"line"`
+			At         time.Time       `json:"at"`
+			DurationNS int64           `json:"duration_ns"`
+			Trace      *trace.SpanJSON `json:"trace"`
+		}
+		entries := p.recent.Entries()
+		out := make([]entryJSON, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, entryJSON{Line: e.Line, At: e.At, DurationNS: int64(e.Duration), Trace: e.Span.JSON()})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"capacity": p.recent.Cap(), "entries": out}); err != nil {
+			p.log.Error("trace JSON render failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			p.log.Error("metrics server stopped", "err", err)
+		}
+	}()
+	return ln, nil
+}
+
+func (p *proxy) shardsUp() int {
+	up := 0
+	for _, c := range p.clients {
+		if c.Healthy() {
+			up++
+		}
+	}
+	return up
+}
+
+// handle serves one client connection; structurally the same loop as
+// histserve's (max-conns fast reject, bounded scanner, write deadlines
+// on every flush).
+func (p *proxy) handle(conn net.Conn) {
+	if p.maxConns > 0 && p.liveConns.Add(1) > p.maxConns {
+		p.liveConns.Add(-1)
+		p.connRejects.Inc()
+		p.log.Warn("connection rejected at -max-conns cap",
+			"remote", conn.RemoteAddr().String(), "max", p.maxConns)
+		p.setWriteDeadline(conn)
+		fmt.Fprintln(conn, "ERR server busy: connection limit reached, retry later")
+		_ = conn.Close() // the reject line is best-effort
+		return
+	}
+	id := p.connSeq.Add(1)
+	p.connections.Inc()
+	p.connTotal.Inc()
+	log := p.log.With("conn", id, "remote", conn.RemoteAddr().String())
+	log.Info("connection opened")
+	var reqs, errs int64
+	defer func() {
+		if err := conn.Close(); err != nil {
+			log.Warn("closing connection failed", "err", err)
+		}
+		p.connections.Dec()
+		if p.maxConns > 0 {
+			p.liveConns.Add(-1)
+		}
+		log.Info("connection closed", "requests", reqs, "errors", errs)
+	}()
+	sc := bufio.NewScanner(conn)
+	if p.maxLineLen > 0 {
+		sc.Buffer(make([]byte, 0, min(4096, p.maxLineLen)), p.maxLineLen)
+	}
+	w := bufio.NewWriter(conn)
+	for {
+		if p.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(p.readTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		reqs++
+		resp, quit := p.safeDispatch(line)
+		if strings.HasPrefix(resp, "ERR") {
+			errs++
+			log.Warn("request failed", "line", line, "resp", resp)
+		}
+		fmt.Fprintln(w, resp)
+		p.setWriteDeadline(conn)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+	switch err := sc.Err(); {
+	case err == nil: // clean EOF
+	case errors.Is(err, bufio.ErrTooLong):
+		fmt.Fprintf(w, "ERR line too long (max %d bytes)\n", p.maxLineLen)
+		p.setWriteDeadline(conn)
+		_ = w.Flush() // best-effort farewell
+		log.Warn("connection closed: line exceeds -max-line-bytes", "max", p.maxLineLen)
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			log.Info("connection closed: idle past -read-timeout", "timeout", p.readTimeout)
+		} else {
+			log.Warn("connection read failed", "err", err)
+		}
+	}
+}
+
+func (p *proxy) setWriteDeadline(conn net.Conn) {
+	if p.readTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(p.readTimeout))
+	}
+}
+
+func (p *proxy) safeDispatch(line string) (resp string, quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Inc()
+			p.log.Error("panic recovered in dispatch",
+				"line", line, "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
+			resp, quit = "ERR "+errInternal.Error(), false
+		}
+	}()
+	return p.dispatch(line)
+}
+
+func (p *proxy) finish(cmd, resp string, start time.Time) {
+	key := cmd
+	if _, known := p.requests[key]; !known {
+		key = "other"
+	}
+	p.requests[key].Inc()
+	if strings.HasPrefix(resp, "ERR") {
+		p.errors[key].Inc()
+	}
+	p.perf.Record(key, time.Since(start))
+}
+
+func (p *proxy) requestCtx() (context.Context, context.CancelFunc) {
+	if p.reqTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), p.reqTimeout)
+}
+
+func (p *proxy) dispatch(line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	cmd := "other"
+	if len(fields) > 0 {
+		cmd = strings.ToUpper(fields[0])
+	}
+	start := time.Now()
+	p.inflight.Inc()
+	defer func() {
+		p.inflight.Dec()
+		p.finish(cmd, resp, start)
+	}()
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
+	switch cmd {
+	case "QUIT":
+		return "BYE", true
+	case "VERSION":
+		if len(fields) != 1 {
+			return "ERR VERSION takes no arguments", false
+		}
+		return fmt.Sprintf("OK histproxy rev=%s dirty=%t go=%s shards=%d",
+			p.meta.GitRev, p.meta.GitDirty, p.meta.GoVersion, p.smap.Len()), false
+	case "SHARDS":
+		if len(fields) != 1 {
+			return "ERR SHARDS takes no arguments", false
+		}
+		shards := p.smap.Shards()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK n=%d up=%d\n", len(shards), p.shardsUp())
+		for i, s := range shards {
+			state := "up"
+			if !p.clients[i].Healthy() {
+				state = "down"
+			}
+			fmt.Fprintf(&b, "%s range=%s %s\n", s.Addr, s.Range, state)
+		}
+		b.WriteString("END")
+		return b.String(), false
+	case "INS", "DEL":
+		return p.routeMutation(cmd, line, fields), false
+	case "QRY":
+		return p.scatterQuery(line, fields[1:], false), false
+	case "EXPLAIN":
+		if len(fields) < 2 || strings.ToUpper(fields[1]) != "QRY" {
+			return "ERR EXPLAIN wraps a query: EXPLAIN QRY <tlo> <thi> <lo...> <hi...>", false
+		}
+		return p.scatterQuery(line, fields[2:], true), false
+	case "STATS":
+		if len(fields) != 1 {
+			return "ERR STATS takes no arguments", false
+		}
+		return p.mergedStats(), false
+	case "SLOWLOG", "SAVE", "CHECKPOINT", "SEAL":
+		return "ERR " + cmd + " is not proxied: connect to a shard directly (see SHARDS)", false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}
+
+// routeMutation forwards one INS/DEL to the shard owning its
+// timestamp. A write cannot be partial: a dead owner is an explicit
+// error, never a silent drop.
+func (p *proxy) routeMutation(cmd, line string, fields []string) string {
+	if len(fields) != 1+1+p.dims+1 {
+		return fmt.Sprintf("ERR %s needs time, %d coordinates and a value", cmd, p.dims)
+	}
+	t, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Sprintf("ERR bad integer %q", fields[1])
+	}
+	owner, ok := p.smap.Locate(t)
+	if !ok {
+		return fmt.Sprintf("ERR no shard owns time %d (the shard map starts at %d)", t, p.smap.Shards()[0].Range.Lo)
+	}
+	idx := p.shardIndex(owner.Addr)
+	var root *trace.Span
+	if cmd == "INS" {
+		root = trace.New("proxy.insert")
+	} else {
+		root = trace.New("proxy.delete")
+	}
+	root.SetStr("shard", owner.Addr)
+	ctx, cancel := p.requestCtx()
+	defer cancel()
+	resp, err := p.clients[idx].Do(ctx, line, false)
+	root.End()
+	p.observe(line, root)
+	if err != nil {
+		return fmt.Sprintf("ERR shard %s unavailable: %v", owner.Addr, err)
+	}
+	return resp
+}
+
+// legResult is one shard's reply to a fanned-out read.
+type legResult struct {
+	leg    shard.Leg
+	value  float64
+	lines  []string // full EXPLAIN body (nil for plain QRY)
+	appErr string   // non-empty: the shard answered ERR (application error)
+	err    error    // transport/timeout/breaker failure
+}
+
+// scatterQuery fans a read query out to every overlapped shard and
+// merges the partial sums. explain selects the EXPLAIN variant (span
+// tree + summed totals). The query arguments are validated as
+// integers here so a malformed request fails once at the proxy instead
+// of N times at the shards.
+func (p *proxy) scatterQuery(line string, args []string, explain bool) string {
+	if len(args) != 2+2*p.dims {
+		return fmt.Sprintf("ERR QRY needs tlo, thi and %d lo + %d hi coordinates", p.dims, p.dims)
+	}
+	nums := make([]int64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return fmt.Sprintf("ERR bad integer %q", a)
+		}
+		nums[i] = v
+	}
+	coords := strings.Join(args[2:], " ")
+	legs := p.smap.Route(nums[0], nums[1])
+
+	root := trace.New("proxy.query")
+	root.SetInt("legs", int64(len(legs)))
+	results := p.fanOut(root, legs, coords, explain)
+	root.End()
+	p.observe(line, root)
+
+	// A deterministic application error from any shard (bad
+	// coordinates, wrong arity) would be the same from every shard:
+	// relay the first one in map order rather than calling it PARTIAL.
+	for _, r := range results {
+		if r.appErr != "" {
+			return r.appErr
+		}
+	}
+	parts := make([]shard.Partial, len(results))
+	for i, r := range results {
+		parts[i] = shard.Partial{Leg: r.leg, Value: r.value, Err: r.err}
+	}
+	merged := shard.Merge(parts)
+	if !merged.Complete {
+		p.partials.Inc()
+	}
+
+	value := strconv.FormatFloat(merged.Value, 'g', -1, 64)
+	if !explain {
+		if merged.Complete {
+			return value
+		}
+		return fmt.Sprintf("PARTIAL %s covered=%s missing=%s",
+			value, shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
+	}
+
+	var b strings.Builder
+	if merged.Complete {
+		fmt.Fprintf(&b, "OK result=%s\n", value)
+	} else {
+		fmt.Fprintf(&b, "PARTIAL result=%s covered=%s missing=%s\n",
+			value, shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
+	}
+	root.Render(&b)
+	b.WriteString("totals")
+	totals := sumShardTotals(results)
+	for c := trace.Counter(0); c < trace.NumCounters; c++ {
+		fmt.Fprintf(&b, " %s=%d", c, totals[c.String()])
+	}
+	b.WriteString("\nEND")
+	return b.String()
+}
+
+// fanOut dispatches one leg per overlapped shard concurrently. Child
+// spans are created serially before the goroutines start (trace.Span
+// is not concurrency-safe; each goroutine owns exactly one child) and
+// joined by the WaitGroup before anyone reads the tree.
+func (p *proxy) fanOut(root *trace.Span, legs []shard.Leg, coords string, explain bool) []legResult {
+	ctx, cancel := p.requestCtx()
+	defer cancel()
+	results := make([]legResult, len(legs))
+	spans := make([]*trace.Span, len(legs))
+	for i, leg := range legs {
+		spans[i] = root.StartChild("proxy.leg")
+		spans[i].SetStr("shard", leg.Addr)
+		spans[i].SetInt("tlo", leg.TimeLo)
+		spans[i].SetInt("thi", leg.TimeHi)
+	}
+	var wg sync.WaitGroup
+	for i, leg := range legs {
+		i, leg := i, leg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer spans[i].End()
+			p.fanoutLegs.Inc()
+			results[i] = p.queryLeg(ctx, spans[i], leg, coords, explain)
+			if results[i].err != nil {
+				p.legFailures.Inc()
+				spans[i].SetStr("err", results[i].err.Error())
+			} else {
+				spans[i].SetFloat("value", results[i].value)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// queryLeg performs one shard round-trip for its clamped time range.
+func (p *proxy) queryLeg(ctx context.Context, sp *trace.Span, leg shard.Leg, coords string, explain bool) legResult {
+	res := legResult{leg: leg}
+	client := p.clients[leg.Index]
+	qry := fmt.Sprintf("QRY %d %d %s", leg.TimeLo, leg.TimeHi, coords)
+	if explain {
+		lines, err := client.DoMulti(ctx, "EXPLAIN "+qry, true)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		first := lines[0]
+		if strings.HasPrefix(first, "ERR") {
+			return classifyShardErr(res, first)
+		}
+		val, ok := strings.CutPrefix(first, "OK result=")
+		if !ok {
+			res.err = fmt.Errorf("shard %s: unexpected EXPLAIN reply %q", leg.Addr, first)
+			return res
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			res.err = fmt.Errorf("shard %s: bad EXPLAIN result %q", leg.Addr, val)
+			return res
+		}
+		res.value = v
+		res.lines = lines
+		addShardTotals(sp, lines)
+		return res
+	}
+	reply, err := client.Do(ctx, qry, true)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if strings.HasPrefix(reply, "ERR") {
+		return classifyShardErr(res, reply)
+	}
+	v, err := strconv.ParseFloat(reply, 64)
+	if err != nil {
+		res.err = fmt.Errorf("shard %s: non-numeric QRY reply %q", leg.Addr, reply)
+		return res
+	}
+	res.value = v
+	return res
+}
+
+// classifyShardErr splits a shard's ERR reply: timeouts and
+// cancellations are leg failures (the shard is slow or dying — degrade
+// to PARTIAL), everything else is a deterministic application error
+// relayed to the client as-is.
+func classifyShardErr(res legResult, reply string) legResult {
+	if strings.HasPrefix(reply, "ERR timeout") || strings.HasPrefix(reply, "ERR canceled") {
+		res.err = errors.New(reply)
+	} else {
+		res.appErr = reply
+	}
+	return res
+}
+
+// addShardTotals copies a shard's EXPLAIN cost totals onto the leg's
+// span, so the proxy's own EXPLAIN tree carries the paper-unit costs
+// exactly where they were incurred (and root.Total sums them).
+func addShardTotals(sp *trace.Span, lines []string) {
+	totals := parseTotals(lines)
+	if totals == nil {
+		return
+	}
+	for c := trace.Counter(0); c < trace.NumCounters; c++ {
+		if v, ok := totals[c.String()]; ok && v != 0 {
+			sp.Add(c, v)
+		}
+	}
+}
+
+// parseTotals finds a shard EXPLAIN's "totals k=v ..." line.
+func parseTotals(lines []string) map[string]int64 {
+	for i := len(lines) - 1; i >= 0; i-- {
+		rest, ok := strings.CutPrefix(lines[i], "totals ")
+		if !ok {
+			continue
+		}
+		out := make(map[string]int64)
+		for _, tok := range strings.Fields(rest) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				continue
+			}
+			out[k] = n
+		}
+		return out
+	}
+	return nil
+}
+
+// sumShardTotals merges every successful leg's totals, in map order.
+func sumShardTotals(results []legResult) map[string]int64 {
+	out := make(map[string]int64)
+	for _, r := range results {
+		if r.err != nil || r.lines == nil {
+			continue
+		}
+		for k, v := range parseTotals(r.lines) {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// statsMaxKeys are STATS fields where summing across shards is wrong:
+// window length and percentile digests take the max (worst case), and
+// sealed_through is a boundary, not a quantity.
+func statsMaxKey(k string) bool {
+	return k == "win_s" || k == "sealed_through" || k == "degraded" ||
+		strings.HasSuffix(k, "_p50_us") || strings.HasSuffix(k, "_p99_us")
+}
+
+// mergedStats fans STATS out to every shard and merges the numeric
+// fields: sums by default, max for statsMaxKey fields, non-numeric
+// tokens (git_rev) skipped. Field order follows the first responding
+// shard so the output stays stable and diffable.
+func (p *proxy) mergedStats() string {
+	ctx, cancel := p.requestCtx()
+	defer cancel()
+	type statsReply struct {
+		idx  int
+		resp string
+		err  error
+	}
+	replies := make([]statsReply, len(p.clients))
+	var wg sync.WaitGroup
+	for i, c := range p.clients {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Do(ctx, "STATS", true)
+			replies[i] = statsReply{idx: i, resp: resp, err: err}
+		}()
+	}
+	wg.Wait()
+
+	merged := make(map[string]float64)
+	sawMax := make(map[string]bool)
+	var order []string
+	up := 0
+	for _, r := range replies {
+		if r.err != nil || strings.HasPrefix(r.resp, "ERR") {
+			continue
+		}
+		up++
+		for _, tok := range strings.Fields(r.resp) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				continue
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				continue // non-numeric (git_rev)
+			}
+			if _, seen := merged[k]; !seen {
+				order = append(order, k)
+			}
+			if statsMaxKey(k) {
+				if !sawMax[k] || f > merged[k] {
+					merged[k] = f
+				}
+				sawMax[k] = true
+			} else {
+				merged[k] += f
+			}
+		}
+	}
+	if up == 0 {
+		return "ERR no shard reachable for STATS"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards=%d shards_up=%d partials_total=%d",
+		p.smap.Len(), up, p.partials.Value())
+	for _, k := range order {
+		v := merged[k]
+		//histlint:ignore nofloateq exact integrality check choosing the render format, not a value comparison
+		if v == float64(int64(v)) {
+			fmt.Fprintf(&b, " %s=%d", k, int64(v))
+		} else {
+			fmt.Fprintf(&b, " %s=%.1f", k, v)
+		}
+	}
+	return b.String()
+}
+
+// shardIndex maps an address back to its map position.
+func (p *proxy) shardIndex(addr string) int {
+	for j, s := range p.smap.Shards() {
+		if s.Addr == addr {
+			return j
+		}
+	}
+	return len(p.clients) - 1 // unreachable with a valid map; fall back to hot
+}
+
+// observe retains one finished request trace in the recent ring.
+func (p *proxy) observe(line string, root *trace.Span) {
+	p.recent.Add(line, time.Now(), root.Duration(), root)
+}

@@ -1,0 +1,476 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"histcube/internal/shard"
+	"histcube/internal/shardclient"
+)
+
+// fakeShard is an in-process histserve stand-in: it keeps raw facts
+// and answers QRY by brute-force summation, which makes the expected
+// scatter-gather totals exact without booting real cubes.
+type fakeShard struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	facts   []fact
+	sealed  int64
+	hasSeal bool
+	conns   map[net.Conn]struct{}
+}
+
+type fact struct {
+	t      int64
+	coords []int
+	v      float64
+}
+
+func newFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeShard{ln: ln, conns: make(map[net.Conn]struct{})}
+	go f.acceptLoop(ln)
+	t.Cleanup(f.stop)
+	return f
+}
+
+func (f *fakeShard) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns[conn] = struct{}{}
+		f.mu.Unlock()
+		go f.serve(conn)
+	}
+}
+
+// restart brings the shard back on its previous address (rejoin).
+func (f *fakeShard) restart(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", f.addr())
+	if err != nil {
+		t.Fatalf("rebind %s: %v", f.addr(), err)
+	}
+	f.ln = ln
+	go f.acceptLoop(ln)
+	t.Cleanup(f.stop)
+}
+
+func (f *fakeShard) addr() string { return f.ln.Addr().String() }
+
+// stop simulates a crash: the listener and every accepted connection
+// (including ones sitting in the proxy's pool) die at once.
+func (f *fakeShard) stop() {
+	f.ln.Close()
+	f.mu.Lock()
+	for c := range f.conns {
+		c.Close()
+	}
+	f.conns = make(map[net.Conn]struct{})
+	f.mu.Unlock()
+}
+
+func (f *fakeShard) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		fmt.Fprint(conn, f.reply(fields))
+	}
+}
+
+func (f *fakeShard) reply(fields []string) string {
+	switch strings.ToUpper(fields[0]) {
+	case "VERSION":
+		return "OK histserve rev=faketest dirty=false go=go0.0\n"
+	case "SEAL":
+		t, _ := strconv.ParseInt(fields[1], 10, 64)
+		f.mu.Lock()
+		if !f.hasSeal || t > f.sealed {
+			f.sealed, f.hasSeal = t, true
+		}
+		v := f.sealed
+		f.mu.Unlock()
+		return fmt.Sprintf("OK sealed_through=%d\n", v)
+	case "INS", "DEL":
+		// INS <t> <c1> <c2> <v> (2-dim fixture)
+		t, _ := strconv.ParseInt(fields[1], 10, 64)
+		f.mu.Lock()
+		if f.hasSeal && t <= f.sealed {
+			f.mu.Unlock()
+			return fmt.Sprintf("ERR sealed: time %d is in the sealed range\n", t)
+		}
+		v, _ := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if strings.ToUpper(fields[0]) == "DEL" {
+			v = -v
+		}
+		c1, _ := strconv.Atoi(fields[2])
+		c2, _ := strconv.Atoi(fields[3])
+		f.facts = append(f.facts, fact{t: t, coords: []int{c1, c2}, v: v})
+		f.mu.Unlock()
+		return "OK\n"
+	case "QRY":
+		return strconv.FormatFloat(f.query(fields[1:]), 'g', -1, 64) + "\n"
+	case "EXPLAIN":
+		v := f.query(fields[2:])
+		return fmt.Sprintf("OK result=%s\nhistserve.query dur=1us\ntotals cells_touched=7 conversions=2\nEND\n",
+			strconv.FormatFloat(v, 'g', -1, 64))
+	case "STATS":
+		f.mu.Lock()
+		n := len(f.facts)
+		f.mu.Unlock()
+		return fmt.Sprintf("slices=1 appended=%d win_s=10 qry_p99_us=%d.0 git_rev=faketest\n", n, n)
+	case "QUIT":
+		return "BYE\n"
+	default:
+		return "ERR unknown command " + fields[0] + "\n"
+	}
+}
+
+func (f *fakeShard) query(args []string) float64 {
+	tlo, _ := strconv.ParseInt(args[0], 10, 64)
+	thi, _ := strconv.ParseInt(args[1], 10, 64)
+	lo1, _ := strconv.Atoi(args[2])
+	lo2, _ := strconv.Atoi(args[3])
+	hi1, _ := strconv.Atoi(args[4])
+	hi2, _ := strconv.Atoi(args[5])
+	var sum float64
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fc := range f.facts {
+		if fc.t >= tlo && fc.t <= thi &&
+			fc.coords[0] >= lo1 && fc.coords[0] <= hi1 &&
+			fc.coords[1] >= lo2 && fc.coords[1] <= hi2 {
+			sum += fc.v
+		}
+	}
+	return sum
+}
+
+// startProxy boots an in-process proxy over the given shard spec with
+// a fast breaker so rejoin tests run in milliseconds.
+func startProxy(t *testing.T, spec string) (addr string, p *proxy) {
+	t.Helper()
+	smap, err := shard.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = newProxy(smap, 2, time.Hour, shardclient.Options{
+		OpTimeout:        time.Second,
+		BreakerThreshold: 1,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	p.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	p.reqTimeout = 5 * time.Second
+	p.ready.Store(true)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		for _, c := range p.clients {
+			c.Close()
+		}
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go p.handle(conn)
+		}
+	}()
+	return ln.Addr().String(), p
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+// multi reads an END-terminated response after the given command.
+func (c *client) multi(t *testing.T, line string) []string {
+	t.Helper()
+	first := c.cmd(t, line)
+	if strings.HasPrefix(first, "ERR") {
+		return []string{first}
+	}
+	lines := []string{first}
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = strings.TrimSpace(l)
+		if l == "END" {
+			return lines
+		}
+		lines = append(lines, l)
+	}
+}
+
+func threeShards(t *testing.T) (spec string, shards []*fakeShard) {
+	t.Helper()
+	a, b, c := newFakeShard(t), newFakeShard(t), newFakeShard(t)
+	spec = fmt.Sprintf("%s=0-99,%s=100-199,%s=200-", a.addr(), b.addr(), c.addr())
+	return spec, []*fakeShard{a, b, c}
+}
+
+func TestProxyRoutesAndMerges(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+
+	// Mutations land on the owner by timestamp.
+	for _, ins := range []string{"INS 10 1 1 5", "INS 150 1 1 7", "INS 250 1 1 11", "INS 180 2 2 13"} {
+		if got := c.cmd(t, ins); got != "OK" {
+			t.Fatalf("%s -> %q", ins, got)
+		}
+	}
+	counts := []int{1, 2, 1}
+	for i, f := range shards {
+		f.mu.Lock()
+		n := len(f.facts)
+		f.mu.Unlock()
+		if n != counts[i] {
+			t.Fatalf("shard %d holds %d facts, want %d", i, n, counts[i])
+		}
+	}
+
+	// A query across all three shards merges to the full sum.
+	if got := c.cmd(t, "QRY 0 300 0 0 7 7"); got != "36" {
+		t.Fatalf("QRY full -> %q, want 36", got)
+	}
+	// Clamped: only the middle shard's range.
+	if got := c.cmd(t, "QRY 100 199 0 0 7 7"); got != "20" {
+		t.Fatalf("QRY middle -> %q, want 20", got)
+	}
+	// Box filtering forwarded intact.
+	if got := c.cmd(t, "QRY 0 300 2 2 7 7"); got != "13" {
+		t.Fatalf("QRY box -> %q, want 13", got)
+	}
+	// A range before the map covers no shard: the operator's zero.
+	if got := c.cmd(t, "QRY 300 100 0 0 7 7"); got != "0" {
+		t.Fatalf("inverted QRY -> %q, want 0", got)
+	}
+	if got := c.cmd(t, "DEL 150 1 1 7"); got != "OK" {
+		t.Fatalf("DEL -> %q", got)
+	}
+	if got := c.cmd(t, "QRY 0 300 0 0 7 7"); got != "29" {
+		t.Fatalf("QRY after DEL -> %q, want 29", got)
+	}
+}
+
+func TestProxyPartialOnDeadShardAndRejoin(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, p := startProxy(t, spec)
+	c := dial(t, addr)
+
+	for _, ins := range []string{"INS 10 1 1 5", "INS 150 1 1 7", "INS 250 1 1 11"} {
+		if got := c.cmd(t, ins); got != "OK" {
+			t.Fatalf("%s -> %q", ins, got)
+		}
+	}
+	// Kill the middle (historic) shard.
+	shards[1].stop()
+
+	// Queries overlapping the dead range answer PARTIAL: live ranges
+	// summed, hole named, no error, no hang.
+	got := c.cmd(t, "QRY 0 300 0 0 7 7")
+	want := fmt.Sprintf("PARTIAL 16 covered=0-99,200-300 missing=%s=100-199", shards[1].addr())
+	if got != want {
+		t.Fatalf("QRY over dead shard:\n got %q\nwant %q", got, want)
+	}
+	// Queries not touching the dead range stay complete.
+	if got := c.cmd(t, "QRY 0 99 0 0 7 7"); got != "5" {
+		t.Fatalf("QRY live-only -> %q, want 5", got)
+	}
+	// Mutations to the dead shard fail explicitly.
+	if got := c.cmd(t, "INS 150 1 1 1"); !strings.HasPrefix(got, "ERR shard") {
+		t.Fatalf("INS to dead shard -> %q, want ERR shard ... unavailable", got)
+	}
+	if p.partials.Value() == 0 {
+		t.Fatal("histproxy_partials_total not incremented")
+	}
+
+	// Rejoin: restart on the same address; after the breaker cooldown
+	// the next query is complete again — no proxy restart.
+	shards[1].restart(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got = c.cmd(t, "QRY 0 300 0 0 7 7")
+		if got == "23" { // complete again: the fake kept its facts
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard rejoined but answers stayed partial: %q", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestProxyExplain(t *testing.T) {
+	spec, _ := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	c.cmd(t, "INS 250 1 1 7")
+
+	lines := c.multi(t, "EXPLAIN QRY 0 300 0 0 7 7")
+	if lines[0] != "OK result=12" {
+		t.Fatalf("EXPLAIN first line = %q", lines[0])
+	}
+	body := strings.Join(lines, "\n")
+	if !strings.Contains(body, "proxy.query") {
+		t.Fatalf("EXPLAIN missing proxy.query root:\n%s", body)
+	}
+	if got := strings.Count(body, "proxy.leg"); got != 3 {
+		t.Fatalf("EXPLAIN has %d proxy.leg spans, want 3:\n%s", got, body)
+	}
+	// Each fake leg reports cells_touched=7 conversions=2; three legs.
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "totals ") ||
+		!strings.Contains(last, "cells_touched=21") || !strings.Contains(last, "conversions=6") {
+		t.Fatalf("EXPLAIN totals = %q, want summed shard totals", last)
+	}
+}
+
+func TestProxyExplainPartial(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	shards[2].stop()
+	lines := c.multi(t, "EXPLAIN QRY 0 300 0 0 7 7")
+	if !strings.HasPrefix(lines[0], "PARTIAL result=5 covered=0-199 missing=") {
+		t.Fatalf("EXPLAIN over dead shard first line = %q", lines[0])
+	}
+}
+
+func TestProxyMergedStats(t *testing.T) {
+	spec, _ := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	c.cmd(t, "INS 250 1 1 7")
+
+	got := c.cmd(t, "STATS")
+	if !strings.HasPrefix(got, "shards=3 shards_up=3 partials_total=0") {
+		t.Fatalf("STATS prefix: %q", got)
+	}
+	// appended sums across shards (1+0+1 facts, +2 STATS-counted... the
+	// fake reports len(facts)): 1+0+1 = 2. slices sums to 3. win_s maxes
+	// to 10. git_rev (non-numeric) is dropped.
+	for _, want := range []string{" appended=2", " slices=3", " win_s=10"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("STATS missing %q: %q", want, got)
+		}
+	}
+	if strings.Contains(got, "git_rev") {
+		t.Fatalf("STATS carries non-numeric field: %q", got)
+	}
+}
+
+func TestProxyProtocolErrors(t *testing.T) {
+	spec, _ := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	cases := []struct{ line, prefix string }{
+		{"QRY 0 300 0 0 7", "ERR QRY needs"},
+		{"QRY 0 x 0 0 7 7", "ERR bad integer"},
+		{"INS 10 1 1", "ERR INS needs"},
+		{"INS x 1 1 5", "ERR bad integer"},
+		{"DEL -50 1 1 5", "ERR no shard owns time -50"},
+		{"EXPLAIN STATS", "ERR EXPLAIN wraps a query"},
+		{"SAVE /tmp/x", "ERR SAVE is not proxied"},
+		{"NOPE", "ERR unknown command"},
+	}
+	for _, tc := range cases {
+		if got := c.cmd(t, tc.line); !strings.HasPrefix(got, tc.prefix) {
+			t.Errorf("%q -> %q, want prefix %q", tc.line, got, tc.prefix)
+		}
+	}
+}
+
+func TestProxyVersionAndShards(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	if got := c.cmd(t, "VERSION"); !strings.HasPrefix(got, "OK histproxy rev=") || !strings.Contains(got, "shards=3") {
+		t.Fatalf("VERSION -> %q", got)
+	}
+	lines := c.multi(t, "SHARDS")
+	if lines[0] != "OK n=3 up=3" {
+		t.Fatalf("SHARDS first line = %q", lines[0])
+	}
+	if len(lines) != 4 || !strings.Contains(lines[1], shards[0].addr()) || !strings.HasSuffix(lines[1], " up") {
+		t.Fatalf("SHARDS body = %q", lines[1:])
+	}
+	if got := c.cmd(t, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+}
+
+func TestProxySealHistoric(t *testing.T) {
+	spec, shards := threeShards(t)
+	_, p := startProxy(t, spec)
+	p.sealHistoric()
+	for i, f := range shards[:2] {
+		f.mu.Lock()
+		sealed, has := f.sealed, f.hasSeal
+		f.mu.Unlock()
+		want := []int64{99, 199}[i]
+		if !has || sealed != want {
+			t.Fatalf("historic shard %d sealed_through=%d (set=%t), want %d", i, sealed, has, want)
+		}
+	}
+	shards[2].mu.Lock()
+	hotSealed := shards[2].hasSeal
+	shards[2].mu.Unlock()
+	if hotSealed {
+		t.Fatal("hot shard must not be sealed")
+	}
+}

@@ -16,6 +16,8 @@
 //	                                      totals line, END | ERR <msg>
 //	SLOWLOG                            -> OK n=<n> ..., one line per
 //	                                      retained trace, END
+//	VERSION                            -> OK histserve rev=<git-rev> go=<ver>
+//	SEAL [<time>]                      -> OK sealed_through=<t> | ERR <msg>
 //	STATS                              -> slices=<n> incomplete=<n> pending=<n> appended=<n> ...
 //	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
 //	CHECKPOINT                         -> OK <lsn> | ERR <msg> (durable mode only)
@@ -84,6 +86,18 @@
 // The hidden -fault-spec / -fault-seed flags arm the deterministic
 // fault injector (internal/fault) on the WAL segment files and the
 // dispatch loop for chaos runs; see that package for the spec grammar.
+//
+// Sharding support: SEAL <t> (or bare SEAL for everything) makes all
+// times at or below t read-only — mutations into the sealed range get
+// "ERR sealed: ..." while queries keep serving. A sharding proxy
+// (cmd/histproxy) demotes a historic shard by sealing the time range
+// it owns, so a misrouted or replayed mutation cannot silently land in
+// history that other shards now answer for. The seal boundary only
+// ever rises, is reported by STATS as sealed_through, and is a runtime
+// state, not a durable one: pass -seal-through on restart (the shard
+// map, not the shard, is the source of truth for ownership). VERSION
+// lets clients and probes verify which build they reached; STATS
+// carries the same revision as git_rev.
 package main
 
 import (
@@ -94,6 +108,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -130,7 +145,7 @@ var errInternal = errors.New("internal error (recovered panic; see server log)")
 // commands lists every protocol verb, used to pre-register one
 // labelled request/error counter per command ("other" catches unknown
 // verbs so a misbehaving client cannot grow the label set unbounded).
-var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "SAVE", "CHECKPOINT", "QUIT", "other"}
+var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "SAVE", "CHECKPOINT", "SEAL", "VERSION", "QUIT", "other"}
 
 // server is one histserve instance.
 //
@@ -192,6 +207,17 @@ type server struct {
 	// is inert, so call sites need no guard.
 	inj *fault.Injector
 
+	// sealedThrough is the seal boundary: mutations with time at or
+	// below it are rejected (historic-shard demotion). math.MinInt64
+	// means nothing is sealed; the value only ever rises (SEAL and
+	// -seal-through), never falls.
+	sealedThrough atomic.Int64
+
+	// meta self-describes the running build (git revision); VERSION
+	// and the STATS git_rev field report it so benchmark records can
+	// verify the binary they actually hit.
+	meta perf.RunMeta
+
 	// Degradation state machine: degraded flips on persistent storage
 	// failure and back off when a probe mutation succeeds. degradedMsg
 	// holds the cause (a string); lastProbeNano serialises probe slots
@@ -232,6 +258,7 @@ func main() {
 		maxLine = flag.Int("max-line-bytes", 1<<20, "largest accepted request line in bytes")
 		maxConn = flag.Int64("max-conns", 256, "open client connections accepted at once; 0 = unlimited")
 		probeIv = flag.Duration("degraded-probe-every", 2*time.Second, "while read-only, let one mutation through per interval to probe storage recovery")
+		sealArg = flag.String("seal-through", "", "reject mutations with time at or below this value (historic-shard demotion; the SEAL command raises it at runtime); empty seals nothing")
 		fspec   = flag.String("fault-spec", "", "fault-injection spec for chaos testing (see internal/fault); empty disables")
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
 		perfWin = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests (STATS, /debug/perf, histserve_cmd_latency_* metrics)")
@@ -263,6 +290,15 @@ func main() {
 	srv.maxLineLen = *maxLine
 	srv.maxConns = *maxConn
 	srv.probeEvery = *probeIv
+	if *sealArg != "" {
+		t, err := strconv.ParseInt(*sealArg, 10, 64)
+		if err != nil {
+			logger.Error("bad -seal-through: want an integer time", "value", *sealArg, "err", err)
+			os.Exit(1)
+		}
+		srv.sealThrough(t)
+		logger.Info("sealed", "through", t)
+	}
 	if *fspec != "" {
 		inj, err := fault.Parse(*fspec, *fseed)
 		if err != nil {
@@ -472,7 +508,9 @@ func newServer(dimsArg, opArg string, ooo bool, perfWindow time.Duration) (*serv
 		perf:       perf.NewSet(perfWindow, commands...),
 		maxLineLen: 1 << 20,
 		probeEvery: 2 * time.Second,
+		meta:       perf.CollectMeta("histserve"),
 	}
+	s.sealedThrough.Store(math.MinInt64)
 	s.perf.Register(s.reg)
 	s.ins = core.NewInstruments(s.reg)
 	cube.SetInstruments(s.ins)
@@ -746,6 +784,29 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 	switch cmd {
 	case "QUIT":
 		return "BYE", true
+	case "VERSION":
+		if len(fields) != 1 {
+			return "ERR VERSION takes no arguments", false
+		}
+		return fmt.Sprintf("OK histserve rev=%s dirty=%t go=%s", s.meta.GitRev, s.meta.GitDirty, s.meta.GoVersion), false
+	case "SEAL":
+		// SEAL <t> raises the seal boundary to t; bare SEAL seals the
+		// whole timeline (full read-only demotion). Monotonic: sealing
+		// below the current boundary is a no-op reporting the boundary,
+		// because unsealing would re-open history other shards already
+		// answer for.
+		if len(fields) > 2 {
+			return "ERR SEAL takes at most one argument: SEAL [<time>]", false
+		}
+		t := int64(math.MaxInt64)
+		if len(fields) == 2 {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return "ERR bad seal time: " + err.Error(), false
+			}
+			t = v
+		}
+		return fmt.Sprintf("OK sealed_through=%d", s.sealThrough(t)), false
 	case "STATS":
 		st := s.statsSnapshot()
 		degraded := 0
@@ -757,6 +818,15 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		// microseconds, throughput in ops/sec over the covered window.
 		qry := s.perf.Snapshot("QRY")
 		ins := s.perf.Snapshot("INS")
+		// sealed_through appears only once something is sealed: the
+		// MinInt64 sentinel would poison numeric STATS aggregation
+		// (histproxy sums/maxes the fields it understands). git_rev is
+		// the only non-numeric field; consumers skip unknown tokens.
+		tail := ""
+		if sealed := s.sealedThrough.Load(); sealed != math.MinInt64 {
+			tail = fmt.Sprintf(" sealed_through=%d", sealed)
+		}
+		tail += " git_rev=" + s.meta.GitRev
 		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
 			"ooo=%d conversions=%d conversions_query=%d conversions_append=%d "+
 			"cells_touched=%d forced_copies=%d copy_ahead=%d "+
@@ -772,7 +842,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			degraded, s.readonlyRejects.Value(),
 			s.perf.Window().Seconds(),
 			qry.OpsPerSec, micros(qry.P50), micros(qry.P99),
-			ins.OpsPerSec, micros(ins.P50), micros(ins.P99)), false
+			ins.OpsPerSec, micros(ins.P50), micros(ins.P99)) + tail, false
 	case "SAVE":
 		if len(fields) != 2 {
 			return "ERR SAVE needs a file path", false
@@ -809,6 +879,10 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		}
 		if resp := s.badCoord(coords); resp != "" {
 			return resp, false
+		}
+		if sealed := s.sealedThrough.Load(); nums[0] <= sealed {
+			return fmt.Sprintf("ERR sealed: time %d is in the sealed range (sealed through %d; this history is read-only)",
+				nums[0], sealed), false
 		}
 		if resp := s.readOnlyReject(); resp != "" {
 			return resp, false
@@ -1104,6 +1178,20 @@ func (s *server) observe(line string, root *trace.Span) {
 // markReady flips /readyz to 200: startup (snapshot load, WAL
 // recovery) has finished and the server is about to accept traffic.
 func (s *server) markReady() { s.ready.Store(true) }
+
+// sealThrough raises the seal boundary to t (monotonically — a lower
+// request leaves it unchanged) and returns the resulting boundary.
+func (s *server) sealThrough(t int64) int64 {
+	for {
+		cur := s.sealedThrough.Load()
+		if t <= cur {
+			return cur
+		}
+		if s.sealedThrough.CompareAndSwap(cur, t) {
+			return t
+		}
+	}
+}
 
 // micros renders a duration as fractional microseconds for the STATS
 // win_* fields.

@@ -9,27 +9,30 @@ import (
 
 // MetricName enforces the metric naming contract from the
 // observability PR: every metric registered on the obs registry
-// carries a constant snake_case name under the histcube_ or histserve_
-// prefix, and no name is registered from two different sites in a
-// package. Dashboards and the /metrics scrape contract key on these
-// literals; a computed name defeats grep-ability, and a double
-// registration either panics at runtime or silently merges two series.
+// carries a constant snake_case name under the histcube_, histserve_
+// or histproxy_ prefix, and no name is registered from two different
+// sites in a package. Dashboards and the /metrics scrape contract key
+// on these literals; a computed name defeats grep-ability, and a
+// double registration either panics at runtime or silently merges two
+// series.
 //
 // The same contract covers trace span names (trace.New and
-// Span.StartChild): constant dotted snake_case under the histcube. or
-// histserve. prefix, so EXPLAIN output and slow-query log entries stay
-// grep-able against the source. Spans carry no duplicate-site check —
-// unlike a metric series, the same span name legitimately starts from
-// many call sites.
+// Span.StartChild): constant dotted snake_case under the histcube.,
+// histserve. or proxy. prefix (proxy. is cmd/histproxy's namespace —
+// proxy.query roots with one proxy.leg child per fan-out), so EXPLAIN
+// output and slow-query log entries stay grep-able against the
+// source. Spans carry no duplicate-site check — unlike a metric
+// series, the same span name legitimately starts from many call
+// sites.
 var MetricName = &Analyzer{
 	Name: "metricname",
-	Doc:  "obs metrics and trace spans use constant histcube/histserve snake_case names",
+	Doc:  "obs metrics and trace spans use constant histcube/histserve/histproxy snake_case names",
 	Run:  runMetricName,
 }
 
 var (
-	metricNameRE = regexp.MustCompile(`^(histcube|histserve)(_[a-z0-9]+)+$`)
-	spanNameRE   = regexp.MustCompile(`^(histcube|histserve)(\.[a-z0-9_]+)+$`)
+	metricNameRE = regexp.MustCompile(`^(histcube|histserve|histproxy)(_[a-z0-9]+)+$`)
+	spanNameRE   = regexp.MustCompile(`^(histcube|histserve|proxy)(\.[a-z0-9_]+)+$`)
 )
 
 var metricRegisterMethods = map[string]bool{
@@ -71,7 +74,7 @@ func runMetricName(pass *Pass) error {
 			}
 			if !metricNameRE.MatchString(name) {
 				pass.Reportf(call.Args[0].Pos(),
-					"metric name %q violates the naming contract: want histcube_/histserve_ prefix and lower snake_case (%s)",
+					"metric name %q violates the naming contract: want histcube_/histserve_/histproxy_ prefix and lower snake_case (%s)",
 					name, metricNameRE)
 				return true
 			}
@@ -115,7 +118,7 @@ func checkSpanName(pass *Pass, call *ast.CallExpr) bool {
 	}
 	if !spanNameRE.MatchString(name) {
 		pass.Reportf(call.Args[0].Pos(),
-			"span name %q violates the naming contract: want histcube./histserve. prefix and dotted lower snake_case (%s)",
+			"span name %q violates the naming contract: want histcube./histserve./proxy. prefix and dotted lower snake_case (%s)",
 			name, spanNameRE)
 	}
 	return true

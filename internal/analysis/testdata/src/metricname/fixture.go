@@ -46,6 +46,23 @@ func registerPerf(reg *obs.Registry, names []string) {
 
 func count2() float64 { return 0 }
 
+// registerProxy covers the histproxy_ prefix (cmd/histproxy's metric
+// namespace, published by perf.RegisterProxy and the proxy's own
+// counters): well-formed histproxy_ names pass, near-misses on the
+// prefix or case fail like any other name.
+func registerProxy(reg *obs.Registry, shards []string) {
+	reg.NewCounter("histproxy_requests_total", "ok: histproxy prefix")
+	reg.NewCounter("histproxy_partials_total", "ok: histproxy prefix")
+	for _, sh := range shards {
+		reg.NewGaugeFunc("histproxy_shard_up", "ok: one site, one label pair per shard",
+			func() float64 { return 0 }, obs.Label{Key: "shard", Value: sh})
+	}
+
+	reg.NewCounter("histproxy_", "bad: bare prefix")            // want `violates the naming contract`
+	reg.NewCounter("proxy_requests_total", "bad: short prefix") // want `violates the naming contract`
+	reg.NewGauge("histproxy_Shard_Up", "bad: upper case")       // want `violates the naming contract`
+}
+
 const namedSpan = "histcube.named_span"
 
 func spans(dynamic string) {
@@ -62,4 +79,19 @@ func spans(dynamic string) {
 	_ = trace.New("query.histcube")        // want `violates the naming contract`
 	root.StartChild("histcube.")           // want `violates the naming contract`
 	root.StartChild("other.prefix.spoken") // want `violates the naming contract`
+}
+
+// proxySpans covers cmd/histproxy's span namespace: proxy.query roots
+// with one proxy.leg child per shard fan-out. "proxy" alone is a span
+// prefix, not a metric prefix — histproxy. is NOT a valid span prefix
+// (the namespaces are deliberately distinct so a grep for proxy. finds
+// spans and histproxy_ finds metrics).
+func proxySpans() {
+	root := trace.New("proxy.query") // ok: proxy span prefix
+	root.StartChild("proxy.leg")     // ok: one child per fan-out leg
+	_ = trace.New("proxy.insert")    // ok
+
+	_ = trace.New("histproxy.query") // want `violates the naming contract`
+	_ = trace.New("proxy.")          // want `violates the naming contract`
+	root.StartChild("proxy.Leg")     // want `violates the naming contract`
 }

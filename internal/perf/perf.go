@@ -353,3 +353,42 @@ func (s *Set) Register(reg *obs.Registry) {
 			obs.Label{Key: "cmd", Value: name})
 	}
 }
+
+// RegisterProxy is Register for cmd/histproxy: the same window digests
+// under the histproxy_cmd_* names. It duplicates Register rather than
+// parameterising the prefix because metric names must be string
+// literals at the registration site (the metricname analyzer's
+// greppability rule).
+func (s *Set) RegisterProxy(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	stats := []struct {
+		stat string
+		get  func(Snapshot) time.Duration
+	}{
+		{"p50", func(sn Snapshot) time.Duration { return sn.P50 }},
+		{"p95", func(sn Snapshot) time.Duration { return sn.P95 }},
+		{"p99", func(sn Snapshot) time.Duration { return sn.P99 }},
+		{"max", func(sn Snapshot) time.Duration { return sn.Max }},
+		{"mean", func(sn Snapshot) time.Duration { return sn.Mean }},
+	}
+	for _, name := range s.names {
+		rec := s.recs[name]
+		for _, st := range stats {
+			get := st.get
+			reg.NewGaugeFunc("histproxy_cmd_latency_seconds",
+				"Per-command proxy latency digest over the sliding window, by cmd and stat.",
+				func() float64 { return get(rec.Snapshot()).Seconds() },
+				obs.Label{Key: "cmd", Value: name}, obs.Label{Key: "stat", Value: st.stat})
+		}
+		reg.NewGaugeFunc("histproxy_cmd_window_ops_per_sec",
+			"Per-command proxy throughput over the sliding window.",
+			func() float64 { return rec.Snapshot().OpsPerSec },
+			obs.Label{Key: "cmd", Value: name})
+		reg.NewGaugeFunc("histproxy_cmd_window_count",
+			"Per-command proxy request count inside the sliding window.",
+			func() float64 { return float64(rec.Snapshot().Count) },
+			obs.Label{Key: "cmd", Value: name})
+	}
+}

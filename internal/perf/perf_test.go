@@ -315,6 +315,32 @@ func TestRegister(t *testing.T) {
 	}
 }
 
+// TestRegisterProxy checks the histproxy_ variant exposes the same
+// digests under the proxy's metric namespace.
+func TestRegisterProxy(t *testing.T) {
+	set := NewSet(time.Hour, "QRY", "INS")
+	set.Record("QRY", 10*time.Millisecond)
+	reg := obs.NewRegistry()
+	set.RegisterProxy(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`histproxy_cmd_latency_seconds{cmd="QRY",stat="p50"}`,
+		`histproxy_cmd_window_ops_per_sec{cmd="QRY"}`,
+		`histproxy_cmd_window_count{cmd="QRY"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "histserve_cmd_") {
+		t.Error("RegisterProxy leaked histserve_cmd_ series")
+	}
+}
+
 func TestCollectMeta(t *testing.T) {
 	m := CollectMeta("perftest")
 	if m.Tool != "perftest" || m.GoVersion == "" || m.GOMAXPROCS < 1 || m.OS == "" || m.Arch == "" {

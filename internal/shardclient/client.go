@@ -1,0 +1,350 @@
+// Package shardclient is histproxy's per-shard connection layer: a
+// small pool of line-protocol connections to one backend histserve,
+// fronted by a consecutive-failure circuit breaker with a half-open
+// trial, dial backoff via internal/retry, and a VERSION health probe.
+//
+// The breaker trips on transport failures only (dial errors, timeouts,
+// broken conns) — an "ERR ..." reply is a healthy transport carrying an
+// application error and must not open the breaker. While open, Do
+// fails fast with ErrShardDown so the proxy can assemble a PARTIAL
+// answer instead of hanging on a dead shard; after the cooldown a
+// single trial request is let through (half-open), and one success
+// closes the breaker again. That is what lets a SIGKILLed shard rejoin
+// without a proxy restart: the first query (or background probe) after
+// it comes back closes the breaker.
+package shardclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"histcube/internal/retry"
+)
+
+// ErrShardDown is returned (wrapped) when the breaker is open and the
+// request was not attempted: the shard is presumed dead until the
+// cooldown expires.
+var ErrShardDown = errors.New("shard down (breaker open)")
+
+// maxResponseLines bounds an END-terminated multi-line response
+// (EXPLAIN span trees); a backend streaming forever is a transport
+// fault, not a reason to buffer without limit.
+const maxResponseLines = 4096
+
+// Options configures a Client. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// PoolSize is the number of idle connections kept; 0 selects 4.
+	PoolSize int
+	// DialTimeout bounds one TCP dial; 0 selects 2s.
+	DialTimeout time.Duration
+	// OpTimeout bounds one request round-trip (write + full read);
+	// 0 selects 5s. A ctx with an earlier deadline wins.
+	OpTimeout time.Duration
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens the breaker; 0 selects 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open trial; 0 selects 1s.
+	BreakerCooldown time.Duration
+	// DialRetry backs off transient dial failures; the zero Policy
+	// dials exactly once (the breaker supplies the coarse retry).
+	DialRetry retry.Policy
+	// MaxLineBytes caps one response line; 0 selects 1 MiB.
+	MaxLineBytes int
+
+	// now replaces time.Now in the breaker (tests).
+	now func() time.Time
+}
+
+// Client is a pooled line-protocol client for one shard. Safe for
+// concurrent use.
+type Client struct {
+	addr string
+	opts Options
+
+	idle chan *wire
+
+	mu       sync.Mutex
+	fails    int       // consecutive transport failures
+	openedAt time.Time // zero while the breaker is closed
+	trialing bool      // a half-open trial is in flight
+	closed   bool
+}
+
+// wire is one pooled connection.
+type wire struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// New returns a client for addr. No connection is made until the
+// first request or probe.
+func New(addr string, opts Options) *Client {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 4
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = 5 * time.Second
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = 1 << 20
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Client{
+		addr: addr,
+		opts: opts,
+		idle: make(chan *wire, opts.PoolSize),
+	}
+}
+
+// Addr returns the shard address this client serves.
+func (c *Client) Addr() string { return c.addr }
+
+// Healthy reports whether the breaker is closed (requests flow
+// normally). A half-open client reports unhealthy until a trial
+// succeeds.
+func (c *Client) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.openedAt.IsZero()
+}
+
+// allow decides whether a request may proceed. It returns an error
+// while the breaker is open; after the cooldown it admits exactly one
+// half-open trial at a time.
+func (c *Client) allow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return retry.Permanent(fmt.Errorf("shard %s: client closed", c.addr))
+	}
+	if c.openedAt.IsZero() {
+		return nil
+	}
+	if c.opts.now().Sub(c.openedAt) < c.opts.BreakerCooldown {
+		return fmt.Errorf("shard %s: %w", c.addr, ErrShardDown)
+	}
+	if c.trialing {
+		return fmt.Errorf("shard %s: %w (trial in flight)", c.addr, ErrShardDown)
+	}
+	c.trialing = true
+	return nil
+}
+
+// success records a completed round-trip and closes the breaker.
+func (c *Client) success() {
+	c.mu.Lock()
+	c.fails = 0
+	c.openedAt = time.Time{}
+	c.trialing = false
+	c.mu.Unlock()
+}
+
+// failure records a transport failure; at the threshold (or on a
+// failed half-open trial) the breaker opens and the idle pool is
+// drained — pooled conns to a dead shard are all suspect.
+func (c *Client) failure() {
+	c.mu.Lock()
+	c.fails++
+	trip := c.fails >= c.opts.BreakerThreshold || c.trialing
+	c.trialing = false
+	if trip {
+		c.openedAt = c.opts.now()
+	}
+	c.mu.Unlock()
+	if trip {
+		c.drain()
+	}
+}
+
+func (c *Client) drain() {
+	for {
+		select {
+		case w := <-c.idle:
+			w.conn.Close() //histlint:ignore errwrap draining suspect conns after a breaker trip; close errors carry no signal
+		default:
+			return
+		}
+	}
+}
+
+// get returns a pooled connection or dials a fresh one. The bool
+// reports whether the conn was reused (a reused conn may have died
+// idle; idempotent requests retry those on a fresh dial).
+func (c *Client) get(ctx context.Context) (*wire, bool, error) {
+	select {
+	case w := <-c.idle:
+		return w, true, nil
+	default:
+	}
+	var conn net.Conn
+	err := c.opts.DialRetry.Do("shardclient.dial", func() error {
+		d := net.Dialer{Timeout: c.opts.DialTimeout}
+		var derr error
+		conn, derr = d.DialContext(ctx, "tcp", c.addr)
+		return derr
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("dial shard %s: %w", c.addr, err)
+	}
+	return &wire{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}, false, nil
+}
+
+// put returns a healthy connection to the pool (or closes it when the
+// pool is full or the client closed).
+func (c *Client) put(w *wire) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if !closed {
+		select {
+		case c.idle <- w:
+			return
+		default:
+		}
+	}
+	w.conn.Close() //histlint:ignore errwrap surplus pooled conn; close errors carry no signal
+}
+
+// Do sends one request line and returns the single response line.
+// idempotent requests (reads) are retried once on a fresh connection
+// when a *reused* pooled conn fails — it may simply have died idle;
+// mutations never retry (the first attempt may have been applied).
+// Transport failures feed the breaker; ERR replies do not.
+func (c *Client) Do(ctx context.Context, line string, idempotent bool) (string, error) {
+	lines, err := c.roundTrip(ctx, line, idempotent, false)
+	if err != nil {
+		return "", err
+	}
+	return lines[0], nil
+}
+
+// DoMulti sends one request line and reads an END-terminated
+// multi-line response (EXPLAIN); the terminating END is stripped.
+// A response whose first line is ERR is returned as that single line
+// (the server does not follow an error with END).
+func (c *Client) DoMulti(ctx context.Context, line string, idempotent bool) ([]string, error) {
+	return c.roundTrip(ctx, line, idempotent, true)
+}
+
+func (c *Client) roundTrip(ctx context.Context, line string, idempotent, multi bool) ([]string, error) {
+	if err := c.allow(); err != nil {
+		return nil, err
+	}
+	lines, reused, err := c.attempt(ctx, line, multi)
+	if err != nil && reused && idempotent && ctx.Err() == nil {
+		// The pooled conn likely died idle; one fresh-dial retry.
+		lines, _, err = c.attempt(ctx, line, multi)
+	}
+	if err != nil {
+		c.failure()
+		return nil, err
+	}
+	c.success()
+	return lines, nil
+}
+
+// attempt performs one request on one connection. The returned bool
+// reports whether that connection came from the pool.
+func (c *Client) attempt(ctx context.Context, line string, multi bool) (_ []string, reused bool, err error) {
+	w, reused, err := c.get(ctx)
+	if err != nil {
+		return nil, reused, err
+	}
+	deadline := c.opts.now().Add(c.opts.OpTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := w.conn.SetDeadline(deadline); err != nil {
+		w.conn.Close() //histlint:ignore errwrap conn is being discarded for the deadline error
+		return nil, reused, fmt.Errorf("shard %s: set deadline: %w", c.addr, err)
+	}
+	if _, err := w.conn.Write([]byte(line + "\n")); err != nil {
+		w.conn.Close() //histlint:ignore errwrap conn is being discarded for the write error
+		return nil, reused, fmt.Errorf("shard %s: write: %w", c.addr, err)
+	}
+	first, err := c.readLine(w)
+	if err != nil {
+		w.conn.Close() //histlint:ignore errwrap conn is being discarded for the read error
+		return nil, reused, fmt.Errorf("shard %s: read: %w", c.addr, err)
+	}
+	lines := []string{first}
+	if multi && !strings.HasPrefix(first, "ERR") {
+		for {
+			if len(lines) > maxResponseLines {
+				w.conn.Close() //histlint:ignore errwrap conn is being discarded for the oversized response
+				return nil, reused, fmt.Errorf("shard %s: response exceeds %d lines", c.addr, maxResponseLines)
+			}
+			l, err := c.readLine(w)
+			if err != nil {
+				w.conn.Close() //histlint:ignore errwrap conn is being discarded for the read error
+				return nil, reused, fmt.Errorf("shard %s: read: %w", c.addr, err)
+			}
+			if l == "END" {
+				break
+			}
+			lines = append(lines, l)
+		}
+	}
+	c.put(w)
+	return lines, reused, nil
+}
+
+// readLine reads one \n-terminated line, enforcing MaxLineBytes.
+func (c *Client) readLine(w *wire) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, err := w.r.ReadSlice('\n')
+		b.Write(chunk)
+		if b.Len() > c.opts.MaxLineBytes {
+			return "", fmt.Errorf("response line exceeds %d bytes", c.opts.MaxLineBytes)
+		}
+		if err == nil {
+			return strings.TrimRight(b.String(), "\r\n"), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+	}
+}
+
+// Probe performs one VERSION round-trip, bypassing idempotent retry
+// (a probe wants the shard's current truth, not a lucky pooled conn).
+// It feeds the breaker like any request, so a successful probe on a
+// half-open breaker closes it — the rejoin path.
+func (c *Client) Probe(ctx context.Context) error {
+	resp, err := c.Do(ctx, "VERSION", false)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		return fmt.Errorf("shard %s: probe got %q", c.addr, resp)
+	}
+	return nil
+}
+
+// Close drains the pool and rejects future requests.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.drain()
+}

@@ -1,0 +1,270 @@
+package shardclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeShard is a minimal line-protocol backend: it answers VERSION,
+// QRY (fixed value), EXPLAIN (multi-line + END), ERRME (ERR reply) and
+// DROPME (closes the conn mid-request).
+type fakeShard struct {
+	ln       net.Listener
+	accepted atomic.Int64
+}
+
+func startFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	f := &fakeShard{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			f.accepted.Add(1)
+			go f.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return f
+}
+
+func (f *fakeShard) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		switch line := sc.Text(); {
+		case line == "VERSION":
+			conn.Write([]byte("OK histserve rev=test\n"))
+		case strings.HasPrefix(line, "QRY"):
+			conn.Write([]byte("42\n"))
+		case strings.HasPrefix(line, "EXPLAIN"):
+			conn.Write([]byte("OK result=42\nspan serve.query\nEND\n"))
+		case line == "ERRME":
+			conn.Write([]byte("ERR bad request\n"))
+		case line == "DROPME":
+			return
+		default:
+			conn.Write([]byte("OK\n"))
+		}
+	}
+}
+
+func (f *fakeShard) addr() string { return f.ln.Addr().String() }
+
+func newTestClient(t *testing.T, addr string, now *atomic.Pointer[time.Time]) *Client {
+	t.Helper()
+	opts := Options{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		DialTimeout:      time.Second,
+		OpTimeout:        2 * time.Second,
+	}
+	if now != nil {
+		opts.now = func() time.Time { return *now.Load() }
+	}
+	c := New(addr, opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestDoAndPooling(t *testing.T) {
+	f := startFakeShard(t)
+	c := newTestClient(t, f.addr(), nil)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		resp, err := c.Do(ctx, "QRY 0 10 0 0 1 1", true)
+		if err != nil {
+			t.Fatalf("Do %d: %v", i, err)
+		}
+		if resp != "42" {
+			t.Fatalf("Do %d: resp %q", i, resp)
+		}
+	}
+	if n := f.accepted.Load(); n != 1 {
+		t.Fatalf("accepted %d conns, want 1 (pooling broken)", n)
+	}
+	if !c.Healthy() {
+		t.Fatal("client unhealthy after successes")
+	}
+}
+
+func TestDoMulti(t *testing.T) {
+	f := startFakeShard(t)
+	c := newTestClient(t, f.addr(), nil)
+	lines, err := c.DoMulti(context.Background(), "EXPLAIN QRY 0 1 0 0", true)
+	if err != nil {
+		t.Fatalf("DoMulti: %v", err)
+	}
+	want := []string{"OK result=42", "span serve.query"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q, want %q", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	// ERR first line short-circuits the END scan.
+	lines, err = c.DoMulti(context.Background(), "ERRME", true)
+	if err != nil || len(lines) != 1 || lines[0] != "ERR bad request" {
+		t.Fatalf("DoMulti(ERRME) = %q, %v", lines, err)
+	}
+}
+
+func TestErrReplyDoesNotTripBreaker(t *testing.T) {
+	f := startFakeShard(t)
+	c := newTestClient(t, f.addr(), nil)
+	for i := 0; i < 5; i++ {
+		resp, err := c.Do(context.Background(), "ERRME", true)
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("resp %q", resp)
+		}
+	}
+	if !c.Healthy() {
+		t.Fatal("ERR replies tripped the breaker; they are application errors, not transport failures")
+	}
+}
+
+func TestBreakerOpensAndFailsFast(t *testing.T) {
+	// A listener we immediately close: dials fail with conn refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	var now atomic.Pointer[time.Time]
+	now.Store(&start)
+	c := newTestClient(t, addr, &now)
+	ctx := context.Background()
+
+	// Threshold is 2: two real failures, then fast-fail.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(ctx, "QRY 0 1 0 0", true); err == nil {
+			t.Fatalf("Do %d against dead addr succeeded", i)
+		}
+	}
+	if c.Healthy() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	_, err = c.Do(ctx, "QRY 0 1 0 0", true)
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("open breaker returned %v, want ErrShardDown", err)
+	}
+}
+
+func TestBreakerHalfOpenRejoin(t *testing.T) {
+	// Reserve an address, kill it, trip the breaker, then bring a
+	// real shard up on the same port and advance past the cooldown:
+	// the half-open trial must close the breaker — the rejoin path.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	var now atomic.Pointer[time.Time]
+	now.Store(&start)
+	c := newTestClient(t, addr, &now)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		c.Do(ctx, "VERSION", false)
+	}
+	if c.Healthy() {
+		t.Fatal("breaker should be open")
+	}
+
+	// Shard comes back on the same address.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	f := &fakeShard{ln: ln2}
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go f.serve(conn)
+		}
+	}()
+	defer ln2.Close()
+
+	// Still inside the cooldown: fail fast, no trial.
+	if _, err := c.Do(ctx, "VERSION", false); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("inside cooldown got %v, want ErrShardDown", err)
+	}
+	// Past the cooldown: the trial goes through and closes the breaker.
+	later := start.Add(2 * time.Minute)
+	now.Store(&later)
+	if err := c.Probe(ctx); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if !c.Healthy() {
+		t.Fatal("breaker did not close after a successful trial")
+	}
+}
+
+func TestIdempotentRetryOnStalePooledConn(t *testing.T) {
+	f := startFakeShard(t)
+	c := newTestClient(t, f.addr(), nil)
+	ctx := context.Background()
+
+	// Prime the pool, then make the server drop that conn.
+	if _, err := c.Do(ctx, "QRY 0 1 0 0", true); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	if _, err := c.Do(ctx, "DROPME", false); err == nil {
+		t.Fatal("DROPME should surface a transport error")
+	}
+
+	// Prime again, drop again — but this time retry as idempotent.
+	if _, err := c.Do(ctx, "QRY 0 1 0 0", true); err != nil {
+		t.Fatalf("prime 2: %v", err)
+	}
+	// Ask the server to close the pooled conn underneath us.
+	w := <-c.idle
+	w.conn.Write([]byte("DROPME\n"))
+	// Wait for the server side to actually close.
+	buf := make([]byte, 1)
+	w.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	w.conn.Read(buf)
+	c.idle <- w
+
+	resp, err := c.Do(ctx, "QRY 0 1 0 0", true)
+	if err != nil {
+		t.Fatalf("idempotent Do on stale conn did not recover: %v", err)
+	}
+	if resp != "42" {
+		t.Fatalf("resp %q", resp)
+	}
+}
+
+func TestClosedClientRejects(t *testing.T) {
+	f := startFakeShard(t)
+	c := New(f.addr(), Options{})
+	c.Close()
+	if _, err := c.Do(context.Background(), "VERSION", false); err == nil {
+		t.Fatal("closed client accepted a request")
+	}
+}

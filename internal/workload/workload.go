@@ -98,7 +98,13 @@ type Spec struct {
 	// CountSemantics makes every delta 1 (COUNT cube); otherwise
 	// deltas are small positive integers (SUM cube).
 	CountSemantics bool
-	Seed           int64
+	// Skew, when > 1, draws every slice coordinate from a Zipf
+	// distribution with that exponent instead of the uniform or
+	// clustered placement: low coordinates become hot spots, which is
+	// the shard-imbalance scenario histproxy topologies are tested
+	// against. Skew overrides Clusters.
+	Skew float64
+	Seed int64
 }
 
 // Paper-scale specs matching Table 3.
@@ -217,11 +223,19 @@ func Generate(s Spec) *Dataset {
 		return len(centers) - 1
 	}
 
+	var skewed func() []int
+	if s.Skew > 1 {
+		skewed = CoordGen(r, s.SliceShape, s.Skew)
+	}
+
 	updates := make([]Update, 0, s.Points)
 	for i := 0; i < s.Points; i++ {
 		coords := make([]int, d)
 		var tv int64
-		if s.Clusters == 0 {
+		if skewed != nil {
+			copy(coords, skewed())
+			tv = int64(r.Intn(s.TimeSize))
+		} else if s.Clusters == 0 {
 			for j, n := range s.SliceShape {
 				coords[j] = r.Intn(n)
 			}
@@ -321,6 +335,40 @@ func oneBox(r *rand.Rand, shape dims.Shape, constrained bool) dims.Box {
 		}
 	}
 	return dims.Box{Lo: lo, Hi: hi}
+}
+
+// CoordGen returns a deterministic coordinate generator over shape:
+// uniform when skew <= 1, Zipf-skewed with exponent skew otherwise
+// (rand.Zipf requires s > 1). Under skew, coordinate 0 of every
+// dimension is the hottest cell and popularity falls off as rank^-s —
+// the standard hot-spot model for shard-imbalance testing. The
+// returned slice is reused across calls; copy it to retain.
+func CoordGen(r *rand.Rand, shape dims.Shape, skew float64) func() []int {
+	coords := make([]int, len(shape))
+	if skew <= 1 {
+		return func() []int {
+			for i, n := range shape {
+				coords[i] = r.Intn(n)
+			}
+			return coords
+		}
+	}
+	zipfs := make([]*rand.Zipf, len(shape))
+	for i, n := range shape {
+		zipfs[i] = rand.NewZipf(r, skew, 1, uint64(n-1))
+	}
+	return func() []int {
+		for i := range shape {
+			// Zipf draws are bounded by imax = n-1, so the narrowing is
+			// total; the guard keeps the invariant checkable.
+			c, ok := dims.ToCoord(int64(zipfs[i].Uint64()))
+			if !ok || c >= shape[i] {
+				c = shape[i] - 1
+			}
+			coords[i] = c
+		}
+		return coords
+	}
 }
 
 // TimeQuery is a cube-level query: a time range plus a box over the

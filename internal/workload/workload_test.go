@@ -272,3 +272,86 @@ func TestNonEmptyAndDensity(t *testing.T) {
 		t.Errorf("Density = %v", got)
 	}
 }
+
+// TestCoordGenSkew: the Zipf generator concentrates mass on low
+// coordinates (the hot-spot shard-imbalance model), stays in bounds,
+// is deterministic per seed, and falls back to uniform for skew <= 1.
+func TestCoordGenSkew(t *testing.T) {
+	shape := dims.Shape{64, 64}
+	const draws = 20000
+
+	gen := CoordGen(rand.New(rand.NewSource(9)), shape, 1.5)
+	zeros := 0
+	for i := 0; i < draws; i++ {
+		c := gen()
+		for j, n := range shape {
+			if c[j] < 0 || c[j] >= n {
+				t.Fatalf("draw %d: coordinate %d = %d out of [0, %d)", i, j, c[j], n)
+			}
+		}
+		if c[0] == 0 {
+			zeros++
+		}
+	}
+	// Uniform would put ~1/64 (~1.6%) of draws at coordinate 0; Zipf
+	// with s=1.5 puts a large constant fraction there.
+	if frac := float64(zeros) / draws; frac < 0.15 {
+		t.Errorf("zipf(1.5): coordinate 0 drawn %.3f of the time, want a hot spot >= 0.15", frac)
+	}
+
+	uni := CoordGen(rand.New(rand.NewSource(9)), shape, 0)
+	zeros = 0
+	for i := 0; i < draws; i++ {
+		if uni()[0] == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / draws; frac > 0.05 {
+		t.Errorf("uniform: coordinate 0 drawn %.3f of the time, want ~1/64", frac)
+	}
+
+	// Same seed, same stream.
+	a := CoordGen(rand.New(rand.NewSource(7)), shape, 2)
+	b := CoordGen(rand.New(rand.NewSource(7)), shape, 2)
+	for i := 0; i < 100; i++ {
+		av, bv := a(), b()
+		if av[0] != bv[0] || av[1] != bv[1] {
+			t.Fatalf("draw %d: %v != %v with identical seeds", i, av, bv)
+		}
+	}
+}
+
+// TestGenerateSkewed: a Spec with Skew produces in-bounds, sorted,
+// hot-spotted updates.
+func TestGenerateSkewed(t *testing.T) {
+	spec := Spec{
+		Name:       "skewed",
+		SliceShape: dims.Shape{32, 32},
+		TimeSize:   64,
+		Points:     5000,
+		Clusters:   10, // overridden by Skew
+		Skew:       1.8,
+		Seed:       5,
+	}
+	ds := Generate(spec)
+	if len(ds.Updates) != spec.Points {
+		t.Fatalf("generated %d updates, want %d", len(ds.Updates), spec.Points)
+	}
+	zeros := 0
+	for i, u := range ds.Updates {
+		if i > 0 && u.Time < ds.Updates[i-1].Time {
+			t.Fatal("updates not sorted by time")
+		}
+		for j, n := range spec.SliceShape {
+			if u.Coords[j] < 0 || u.Coords[j] >= n {
+				t.Fatalf("update %d: coordinate out of bounds: %v", i, u.Coords)
+			}
+		}
+		if u.Coords[0] == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / float64(spec.Points); frac < 0.15 {
+		t.Errorf("skewed spec: coordinate 0 seen %.3f of the time, want >= 0.15", frac)
+	}
+}
