@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint fuzz explain traceguard perfguard chaos shardchaos
+.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint lockgraph fuzz explain traceguard perfguard chaos shardchaos
 
 check:
 	./check.sh
@@ -17,9 +17,16 @@ race:
 lint:
 	go run ./cmd/histlint ./...
 
+# Export the project-wide lock-acquisition graph (lockorder analyzer)
+# as Graphviz DOT. Render with: dot -Tsvg lockgraph.dot -o lockgraph.svg
+lockgraph:
+	go run ./cmd/histlint -lockgraph lockgraph.dot ./...
+	@echo "wrote lockgraph.dot"
+
 fuzz:
 	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
 	go test -run='^$$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
+	go test -run='^$$' -fuzz=FuzzShardMapParse -fuzztime=10s ./internal/shard/
 
 # Full load run against the real server: writes the next
 # BENCH_<seq>.json trajectory point plus pprof profiles. Compare two

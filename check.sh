@@ -18,11 +18,15 @@ go build ./...
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== histlint ./... =="
+echo "== histlint ./... (with lock-graph export) =="
 # Project-specific invariants (see DESIGN.md "Static analysis"):
-# lock discipline, log-before-apply, metric naming, guarded
-# narrowing, error wrapping, float equality.
-go run ./cmd/histlint ./...
+# lock discipline (guarded fields, release-on-all-paths, read-path
+# purity, acquisition-order cycles, atomic all-or-nothing, ctx
+# polling), log-before-apply, metric naming, guarded narrowing, error
+# wrapping, float equality. The lock-acquisition graph lands in
+# lockgraph.dot (CI uploads it as an artifact); a cycle is a finding
+# and fails this step.
+go run ./cmd/histlint -lockgraph lockgraph.dot ./...
 
 echo "== go test -race -shuffle=on ./... =="
 go test -race -shuffle=on ./...
@@ -30,6 +34,7 @@ go test -race -shuffle=on ./...
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
 go test -run='^$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
+go test -run='^$' -fuzz=FuzzShardMapParse -fuzztime=10s ./internal/shard/
 
 echo "== crash-injection durability test =="
 # Runs inside the suite above too; re-run by name so a durability

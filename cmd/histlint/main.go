@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	histlint [-json] [-list] [packages]
+//	histlint [-json] [-list] [-lockgraph out.dot] [packages]
 //
 // Packages default to ./... and accept the same directory patterns the
 // go tool does (./internal/core, ./internal/..., ...). Exit status is
 // 0 when the tree is clean, 1 when findings were reported, and 2 when
 // the analysis itself failed (unparseable source, broken types, bad
-// pattern).
+// pattern). -lockgraph writes the project-wide lock-acquisition graph
+// accumulated by the lockorder analyzer as Graphviz DOT (CI publishes
+// it as a build artifact); the graph is written even when findings
+// exist, so a cycle's DOT rendering is available alongside the report
+// of it.
 package main
 
 import (
@@ -29,15 +33,17 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("histlint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	lockgraph := fs.String("lockgraph", "", "write the lock-acquisition graph as Graphviz DOT to this file")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: histlint [-json] [-list] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: histlint [-json] [-list] [-lockgraph out.dot] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	analyzers := analysis.All()
+	lo := analysis.NewLockOrder()
+	analyzers := analysis.AllWith(lo)
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
@@ -53,6 +59,22 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "histlint: %v\n", err)
 		return 2
+	}
+
+	if *lockgraph != "" {
+		f, err := os.Create(*lockgraph)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "histlint: %v\n", err)
+			return 2
+		}
+		werr := lo.WriteDOT(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "histlint: writing lock graph: %v\n", werr)
+			return 2
+		}
 	}
 
 	if *jsonOut {

@@ -72,12 +72,15 @@ func (c *Cube) InsertUnlogged(op Op) {
 	c.apply(op)
 }
 `,
-		// One violation per remaining analyzer, lines 14, 18, 22, 26, 30.
+		// One violation per remaining per-package analyzer plus a stale
+		// directive, at the line numbers asserted in `expected`.
 		"lint.go": `package tempmod
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tempmod/internal/obs"
 )
@@ -104,6 +107,76 @@ func metric(reg *obs.Registry) {
 func floatEq(a, b float64) bool {
 	return a == b
 }
+
+func (b *box) leak(c bool) int {
+	b.mu.Lock()
+	if c {
+		return 0
+	}
+	b.mu.Unlock()
+	return 1
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rw) sneak() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.v = 1
+}
+
+type stat struct {
+	hits int64
+}
+
+func bump(s *stat) { atomic.AddInt64(&s.hits, 1) }
+
+func readPlain(s *stat) int64 { return s.hits }
+
+func spin(ctx context.Context, ready func() bool) {
+	for {
+		if ready() {
+			return
+		}
+	}
+}
+
+func rotted() int {
+	//histlint:ignore coordnarrow the narrowing this justified is gone
+	return 0
+}
+`,
+		// An AB/BA inversion across two methods: the lockorder cycle is
+		// whole-program state, reported at the earliest witnessing edge.
+		"locks.go": `package tempmod
+
+import "sync"
+
+type la struct{ mu sync.Mutex }
+
+type lb struct{ mu sync.Mutex }
+
+type lockPair struct {
+	a la
+	b lb
+}
+
+func (p *lockPair) fwd() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+}
+
+func (p *lockPair) rev() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+}
 `,
 	})
 }
@@ -117,11 +190,17 @@ var expected = []struct {
 	fragment string
 }{
 	{"internal/core/core.go", 13, "appendbeforeapply", "without logging it first"},
-	{"lint.go", 15, "mutexguard", "box.n is guarded by mu"},
-	{"lint.go", 18, "coordnarrow", "unguarded narrowing int(v)"},
-	{"lint.go", 22, "errwrap", "use %w"},
-	{"lint.go", 26, "metricname", "violates the naming contract"},
-	{"lint.go", 30, "nofloateq", "floating-point == comparison"},
+	{"lint.go", 17, "mutexguard", "box.n is guarded by mu"},
+	{"lint.go", 20, "coordnarrow", "unguarded narrowing int(v)"},
+	{"lint.go", 24, "errwrap", "use %w"},
+	{"lint.go", 28, "metricname", "violates the naming contract"},
+	{"lint.go", 32, "nofloateq", "floating-point == comparison"},
+	{"lint.go", 36, "deferunlock", "not released on every path"},
+	{"lint.go", 52, "rwlockdiscipline", "write to rw.v under mu.RLock()"},
+	{"lint.go", 61, "atomicfield", "plain access to hits"},
+	{"lint.go", 64, "ctxloop", "unbounded for loop in spin never polls cancellation"},
+	{"lint.go", 72, "histlint", "stale ignore directive: no coordnarrow finding"},
+	{"locks.go", 17, "lockorder", "lock-order cycle"},
 }
 
 func runHistlint(t *testing.T, bin, dir string, args ...string) (stdout, stderr string, exit int) {
@@ -166,8 +245,80 @@ func TestHistlintEndToEnd(t *testing.T) {
 			t.Errorf("line %d = %q, want fragment %q", i, lines[i], want.fragment)
 		}
 	}
-	if !strings.Contains(stderr, "6 finding(s)") {
+	if !strings.Contains(stderr, "12 finding(s)") {
 		t.Errorf("stderr = %q, want finding count", stderr)
+	}
+}
+
+// TestHistlintLockGraph checks the DOT export: written even when
+// findings exist, containing both halves of the dirty module's
+// inversion, and stable (sorted) line order.
+func TestHistlintLockGraph(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := dirtyModule(t)
+	dot := filepath.Join(t.TempDir(), "lockgraph.dot")
+
+	_, _, exit := runHistlint(t, bin, dir, "-lockgraph", dot)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatalf("lock graph not written: %v", err)
+	}
+	graph := string(data)
+	for _, want := range []string{
+		"digraph lockorder {",
+		`"tempmod.la.mu" -> "tempmod.lb.mu";`,
+		`"tempmod.lb.mu" -> "tempmod.la.mu";`,
+	} {
+		if !strings.Contains(graph, want) {
+			t.Errorf("lock graph missing %q:\n%s", want, graph)
+		}
+	}
+	fwd := strings.Index(graph, `"tempmod.la.mu" -> "tempmod.lb.mu";`)
+	rev := strings.Index(graph, `"tempmod.lb.mu" -> "tempmod.la.mu";`)
+	if fwd > rev {
+		t.Errorf("edges not sorted:\n%s", graph)
+	}
+}
+
+// TestHistlintLockGraphClean: an acyclic module exports a graph and
+// exits 0 — the artifact is for review, not only for failures.
+func TestHistlintLockGraphClean(t *testing.T) {
+	bin := buildHistlint(t)
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module cleanmod\n\ngo 1.22\n",
+		"safe.go": `package cleanmod
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+`,
+	})
+	dot := filepath.Join(t.TempDir(), "lockgraph.dot")
+	stdout, stderr, exit := runHistlint(t, bin, dir, "-lockgraph", dot)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatalf("lock graph not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"cleanmod.counter.mu";`) {
+		t.Errorf("lock graph missing the node:\n%s", data)
+	}
+	if strings.Contains(string(data), "->") {
+		t.Errorf("single-lock module should have no edges:\n%s", data)
 	}
 }
 

@@ -54,6 +54,12 @@ type Analyzer struct {
 	// Doc is a one-line description shown by histlint -list.
 	Doc string
 	Run func(*Pass) error
+	// Finish, when set, is called once after Run has seen every
+	// package — the hook whole-program analyses (the lock-order graph)
+	// use to report on state accumulated across packages. Its Pass
+	// carries the FileSet and the merged suppression table but no
+	// Files/Pkg/Info.
+	Finish func(*Pass) error
 }
 
 // Pass is one (analyzer, package) unit of work. Files are the parsed
@@ -66,7 +72,7 @@ type Pass struct {
 	Info     *types.Info
 
 	diags    *[]Diagnostic
-	suppress map[suppressKey]bool
+	suppress *suppressions
 }
 
 type suppressKey struct {
@@ -75,11 +81,31 @@ type suppressKey struct {
 	line     int
 }
 
+// directive is one parsed //histlint:ignore comment. used flips when
+// it actually silences a finding, so the driver can report directives
+// that rotted into suppressing nothing.
+type directive struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
+// suppressions is the merged ignore-directive table of one driver run.
+type suppressions struct {
+	byKey map[suppressKey]*directive
+	all   []*directive
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byKey: make(map[suppressKey]*directive)}
+}
+
 // Reportf records a diagnostic at pos unless an ignore directive
-// covers it.
+// covers it (in which case the directive is marked used).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.suppress[suppressKey{p.Analyzer.Name, position.Filename, position.Line}] {
+	if d := p.suppress.byKey[suppressKey{p.Analyzer.Name, position.Filename, position.Line}]; d != nil {
+		d.used = true
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -103,13 +129,12 @@ func PathHasSuffix(path, suffix string) bool {
 
 const directivePrefix = "histlint:ignore"
 
-// collectSuppressions scans the files' comments for ignore directives
-// and records the (analyzer, file, line) pairs they silence: the
-// directive's own line and the line below it, so both end-of-line and
-// stand-alone placement work. Malformed directives are reported under
-// the pseudo-analyzer "histlint".
-func collectSuppressions(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[suppressKey]bool {
-	sup := make(map[suppressKey]bool)
+// collect scans the files' comments for ignore directives and records
+// the (analyzer, file, line) pairs they silence: the directive's own
+// line and the line below it, so both end-of-line and stand-alone
+// placement work. Malformed directives are reported under the
+// pseudo-analyzer "histlint".
+func (sup *suppressions) collect(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -130,11 +155,43 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, diags *[]Diagno
 					})
 					continue
 				}
-				name := fields[0]
-				sup[suppressKey{name, position.Filename, position.Line}] = true
-				sup[suppressKey{name, position.Filename, position.Line + 1}] = true
+				d := &directive{analyzer: fields[0], pos: position}
+				sup.all = append(sup.all, d)
+				sup.byKey[suppressKey{d.analyzer, position.Filename, position.Line}] = d
+				sup.byKey[suppressKey{d.analyzer, position.Filename, position.Line + 1}] = d
 			}
 		}
 	}
-	return sup
+}
+
+// reportStale appends a finding for every directive that silenced
+// nothing: either its analyzer ran and reported nothing there (the
+// justified exception rotted — the code or the analyzer moved on), or
+// the directive names an analyzer the suite has never heard of (a
+// typo that would otherwise suppress nothing forever, silently).
+// Directives for known analyzers that simply were not part of this
+// run are left alone, so fixture runs of a single analyzer do not
+// misreport the others' directives.
+func (sup *suppressions) reportStale(ran map[string]bool, diags *[]Diagnostic) {
+	for _, d := range sup.all {
+		if d.used {
+			continue
+		}
+		known := knownAnalyzerNames[d.analyzer]
+		if !ran[d.analyzer] && known {
+			continue
+		}
+		msg := fmt.Sprintf("stale ignore directive: no %s finding is suppressed here — remove it, or re-justify it against a real finding", d.analyzer)
+		if !known {
+			msg = fmt.Sprintf("ignore directive names unknown analyzer %q (typo? run histlint -list)", d.analyzer)
+		}
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "histlint",
+			Pos:      d.pos,
+			Message:  msg,
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+		})
+	}
 }

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: once any
+// access to a struct field goes through sync/atomic (atomic.AddInt64,
+// atomic.LoadUint32, ... on &x.f), every access to that field must —
+// a single plain read racing one atomic write is still a data race,
+// and it is exactly the mixed-access bug that slips in when a hot
+// counter is "optimised" from mutex to atomic one call site at a time.
+// A field can also opt in explicitly, before any atomic call exists,
+// with a //guarded-by:atomic comment on its declaration — the
+// annotation the per-cell converted-flag refactor will use so the flag
+// is born with the discipline attached.
+//
+// The check is per-package, which covers every field that can matter:
+// a field accessed atomically is by definition shared mutable state,
+// and histcube keeps all such fields unexported. Fields of the typed
+// atomic wrappers (atomic.Int64 & co) need no analyzer — their types
+// make plain access impossible — so this check is specifically the
+// safety net for primitive fields paired with atomic calls.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic (or marked //guarded-by:atomic) is accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+const atomicAnnotation = "guarded-by:atomic"
+
+func runAtomicField(pass *Pass) error {
+	// why explains, per atomic field, what put it under the rule —
+	// quoted back in every finding so the fix is self-evident.
+	why := make(map[*types.Var]string)
+	// blessed marks the selector expressions that ARE the atomic
+	// accesses (the &x.f argument of a sync/atomic call).
+	blessed := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if !hasAtomicAnnotation(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							if _, present := why[v]; !present {
+								why[v] = "is marked //" + atomicAnnotation
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range n.Args {
+					ue, ok := arg.(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					se, ok := unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fv := fieldVarOf(pass, se)
+					if fv == nil {
+						continue
+					}
+					blessed[se] = true
+					if _, present := why[fv]; !present {
+						pos := pass.Fset.Position(n.Pos())
+						why[fv] = "is accessed with atomic." + fn.Name() + " at " +
+							shortFile(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(why) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[se] {
+				return true
+			}
+			fv := fieldVarOf(pass, se)
+			if fv == nil {
+				return true
+			}
+			reason, atomicField := why[fv]
+			if !atomicField {
+				return true
+			}
+			pass.Reportf(se.Sel.Pos(),
+				"plain access to %s, which %s: every read and write must go through sync/atomic (mixed access is a data race)",
+				fv.Name(), reason)
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVarOf resolves a selector to the struct-field variable it
+// names, or nil for method values, qualified identifiers, etc.
+func fieldVarOf(pass *Pass, se *ast.SelectorExpr) *types.Var {
+	sel, ok := pass.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	fv, _ := sel.Obj().(*types.Var)
+	return fv
+}
+
+func hasAtomicAnnotation(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg != nil && strings.Contains(cg.Text(), atomicAnnotation) {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLoop keeps cancellation honest in the functions that promise it:
+// a function taking a context.Context whose body contains an unbounded
+// loop — `for { ... }` with no condition, or a range over a channel —
+// must touch the context somewhere inside that loop (ctx.Err(),
+// select on ctx.Done(), or passing ctx into a call that does the
+// polling). Otherwise the context is decoration: the scatter-gather
+// proxy and the shard clients advertise deadline support, but a retry
+// loop that never looks at ctx spins on a dead request until the
+// remote side hangs up, holding a connection slot and a goroutine the
+// governor has already written off.
+//
+// Bounded loops (any `for` with a condition or classic three-clause
+// form) are out of scope — they terminate on their own. So are
+// functions without a context parameter: nothing was promised. A loop
+// that intentionally ignores ctx (e.g. a drain loop that must run to
+// completion) carries a justified //histlint:ignore.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded loops in context-taking functions poll cancellation",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd.Type) {
+				continue
+			}
+			funcName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					if n.Cond == nil {
+						checkLoopPollsCtx(pass, n.Body, n.Pos(), funcName, "unbounded for loop")
+					}
+				case *ast.RangeStmt:
+					if isChanType(pass, n.X) {
+						checkLoopPollsCtx(pass, n.Body, n.Pos(), funcName, "range over channel")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkLoopPollsCtx(pass *Pass, body *ast.BlockStmt, pos token.Pos, funcName, kind string) {
+	if body == nil || touchesContext(pass, body) {
+		return
+	}
+	pass.Reportf(pos,
+		"%s in %s never polls cancellation: %s takes a context.Context — check ctx.Err() or select on ctx.Done() each iteration, or pass ctx to a call inside the loop",
+		kind, funcName, funcName)
+}
+
+// touchesContext reports whether any expression of type context.Context
+// occurs in the subtree — a ctx.Err() call, a ctx.Done() select arm,
+// or ctx handed to a callee all qualify. Function literals are NOT
+// skipped: a closure invoked inside the loop that uses ctx is a
+// legitimate polling mechanism.
+func touchesContext(pass *Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[e]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+func isChanType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"histcube/internal/analysis/cfg"
+)
+
+// DeferUnlock proves release-on-all-paths: every mu.Lock() / RLock()
+// must be matched, on every control-flow path from the acquisition to
+// a function exit (return, panic, or falling off the end), by either a
+// reached `defer mu.Unlock()` registration or an explicit Unlock. The
+// check runs on the basic-block CFG (package cfg), so early returns,
+// breaks past the unlock, switch cases without a release and panic
+// exits are all real paths, not textual approximations.
+//
+// This is the analyzer that keeps the lock-breaking refactor honest:
+// once histserve's single mutex splits into per-slice and RWMutex
+// locks, a forgotten unlock on one error path is a server that wedges
+// under load, and reviews will not reliably catch it across six
+// binaries. Functions that intentionally return holding the lock
+// (lock-handoff constructors) carry a justified //histlint:ignore.
+var DeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "every Lock()/RLock() is released on every path to function exit (defer or explicit)",
+	Run:  runDeferUnlock,
+}
+
+func runDeferUnlock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBodies(pass, fd.Body, checkReleaseOnAllPaths)
+		}
+	}
+	return nil
+}
+
+// checkFuncBodies runs check on body and, recursively, on every
+// function literal inside it — each literal is its own control-flow
+// universe with its own CFG.
+func checkFuncBodies(pass *Pass, body *ast.BlockStmt, check func(*Pass, *ast.BlockStmt)) {
+	check(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			if lit.Body != nil {
+				checkFuncBodies(pass, lit.Body, check)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func checkReleaseOnAllPaths(pass *Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			block, idx := b, i
+			lockCallsIn(pass, node, func(call *ast.CallExpr, op lockOp, id lockID, deferred bool) {
+				if !op.acquires() || deferred {
+					return
+				}
+				rel := op.release()
+				released := func(n ast.Node) bool {
+					hit := false
+					lockCallsIn(pass, n, func(_ *ast.CallExpr, o lockOp, i2 lockID, _ bool) {
+						if o == rel && i2.instance == id.instance {
+							hit = true
+						}
+					})
+					return hit
+				}
+				// The acquisition's own node may carry the release
+				// when lock and unlock share a statement; start the
+				// path check at the next node and handle the same-
+				// node case by position.
+				if sameNodeRelease(pass, node, call, rel, id) {
+					return
+				}
+				if !g.EveryPathHits(block, idx+1, released) {
+					pass.Reportf(call.Pos(),
+						"%s.%s() is not released on every path to function exit: add `defer %s.%s()` right after the acquisition, or release on each return/panic path",
+						id.display, op, shortRecv(call), rel)
+				}
+			})
+		}
+	}
+}
+
+// sameNodeRelease reports whether the node containing the acquisition
+// also releases it *after* the acquisition (single-statement lock/
+// unlock pairs, e.g. inside a helper expression).
+func sameNodeRelease(pass *Pass, node ast.Node, acq *ast.CallExpr, rel lockOp, id lockID) bool {
+	hit := false
+	lockCallsIn(pass, node, func(c *ast.CallExpr, o lockOp, i2 lockID, _ bool) {
+		if c.Pos() > acq.Pos() && o == rel && i2.instance == id.instance {
+			hit = true
+		}
+	})
+	return hit
+}
+
+// shortRecv renders the receiver expression of a lock call for the
+// suggested fix ("c.mu", "s.pool.mu").
+func shortRecv(call *ast.CallExpr) string {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "mu"
+	}
+	return exprString(se.X)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	default:
+		return "mu"
+	}
+}

@@ -21,12 +21,17 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	return RunPackages(loader, pkgs, analyzers)
 }
 
-// RunPackages applies the analyzers to already-loaded packages —
-// the entry point tests use to drive analyzers over fixtures.
+// RunPackages applies the analyzers to already-loaded packages — the
+// entry point tests use to drive analyzers over fixtures. After every
+// per-package pass it runs each analyzer's Finish hook (whole-program
+// state), then reports ignore directives that suppressed nothing.
 func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	sup := newSuppressions()
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(loader.Fset, pkg.Files, &diags)
+		sup.collect(loader.Fset, pkg.Files, &diags)
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -42,6 +47,18 @@ func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diag
 			}
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Finish == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: loader.Fset, diags: &diags, suppress: sup}
+		if err := a.Finish(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s finish: %w", a.Name, err)
+		}
+	}
+	sup.reportStale(ran, &diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -58,14 +75,47 @@ func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diag
 	return diags, nil
 }
 
-// All returns the full histcube analyzer suite in stable order.
+// knownAnalyzerNames is every analyzer name the suite has ever heard
+// of (plus the "histlint" pseudo-analyzer), so a directive naming
+// something else can be called out as a typo no matter which subset of
+// analyzers a run uses.
+var knownAnalyzerNames = map[string]bool{
+	"histlint":          true,
+	"appendbeforeapply": true,
+	"atomicfield":       true,
+	"coordnarrow":       true,
+	"ctxloop":           true,
+	"deferunlock":       true,
+	"errwrap":           true,
+	"lockorder":         true,
+	"metricname":        true,
+	"mutexguard":        true,
+	"nofloateq":         true,
+	"rwlockdiscipline":  true,
+}
+
+// All returns the full histcube analyzer suite in stable order, with a
+// fresh lock-order accumulator. Use AllWith to keep a handle on the
+// accumulator (DOT export).
 func All() []*Analyzer {
+	return AllWith(NewLockOrder())
+}
+
+// AllWith returns the full suite wired to the given lock-order
+// accumulator, so callers (cmd/histlint's -lockgraph) can export the
+// acquisition graph after the run.
+func AllWith(lo *LockOrder) []*Analyzer {
 	return []*Analyzer{
 		AppendBeforeApply,
+		AtomicField,
 		CoordNarrow,
+		CtxLoop,
+		DeferUnlock,
 		ErrWrap,
+		lo.Analyzer(),
 		MetricName,
 		MutexGuard,
 		NoFloatEq,
+		RWLockDiscipline,
 	}
 }

@@ -118,16 +118,52 @@ func TestMetricName(t *testing.T)        { checkFixture(t, analysis.MetricName) 
 func TestCoordNarrow(t *testing.T)       { checkFixture(t, analysis.CoordNarrow) }
 func TestErrWrap(t *testing.T)           { checkFixture(t, analysis.ErrWrap) }
 func TestNoFloatEq(t *testing.T)         { checkFixture(t, analysis.NoFloatEq) }
+func TestDeferUnlock(t *testing.T)       { checkFixture(t, analysis.DeferUnlock) }
+func TestRWLockDiscipline(t *testing.T)  { checkFixture(t, analysis.RWLockDiscipline) }
+func TestAtomicField(t *testing.T)       { checkFixture(t, analysis.AtomicField) }
+func TestCtxLoop(t *testing.T)           { checkFixture(t, analysis.CtxLoop) }
 
-// TestMalformedDirective checks that an ignore directive without a
-// reason is itself reported, under the pseudo-analyzer "histlint".
+// TestLockOrder uses a fresh accumulator: its state is per-run by
+// design, and sharing one across tests would merge the graphs.
+func TestLockOrder(t *testing.T) { checkFixture(t, analysis.NewLockOrder().Analyzer()) }
+
+// TestMalformedDirective checks the no-analyzer run of the directives
+// fixture: a directive without a reason is reported, and a directive
+// naming an analyzer the suite has never heard of is reported even
+// though nothing ran — a typo must not suppress nothing, silently,
+// forever. Directives for known analyzers that were not part of the
+// run are left alone.
 func TestMalformedDirective(t *testing.T) {
 	diags := runFixture(t, "directives")
-	if len(diags) != 1 {
-		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
 	}
-	d := diags[0]
-	if d.Analyzer != "histlint" || !strings.Contains(d.Message, "needs an analyzer name and a reason") {
+	if d := diags[0]; d.Analyzer != "histlint" || !strings.Contains(d.Message, "needs an analyzer name and a reason") {
 		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+	if d := diags[1]; d.Analyzer != "histlint" || !strings.Contains(d.Message, `unknown analyzer "nofloatql"`) {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestStaleDirective runs the directives fixture WITH nofloateq: now
+// the directive that suppresses nothing is stale, while the one that
+// still covers a real finding stays silent (and so does the finding).
+func TestStaleDirective(t *testing.T) {
+	diags := runFixture(t, "directives", analysis.NoFloatEq)
+	var stale []analysis.Diagnostic
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale ignore directive") {
+			stale = append(stale, d)
+		}
+		if d.Analyzer == "nofloateq" {
+			t.Errorf("the justified directive should have suppressed this: %s", d)
+		}
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "no nofloateq finding is suppressed here") {
+		t.Fatalf("got stale diagnostics %v, want exactly one for the rotted nofloateq directive", stale)
+	}
+	if len(diags) != 3 { // malformed + unknown + stale
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
 	}
 }

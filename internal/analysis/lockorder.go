@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LockOrder accumulates the project-wide lock-acquisition graph and
+// reports cycles in it as potential deadlocks. It is the one analyzer
+// in the suite that is whole-program by construction: an AB/BA
+// deadlock is invisible to any per-package, per-function check,
+// because each half of the inversion is locally fine.
+//
+// Vertices are lock *nodes* — the mutex field (one vertex for every
+// instance of *shardclient.Client.mu) or package-level mutex variable.
+// An edge A→B is recorded when B is acquired while A is held, either
+// directly in one function body or through a call chain: per-function
+// summaries of "locks acquired anywhere inside" are propagated over
+// the call graph to a fixpoint in Finish, so mu.Lock(); s.helper()
+// contributes edges for everything helper (transitively) locks.
+//
+// Two deliberate exclusions keep the graph honest: self-edges are
+// never recorded (distinct instances of the same field — the sharded
+// per-slice locks the refactor introduces — would otherwise make every
+// striped lock a false cycle; ordering within one field is a
+// convention this analyzer cannot see), and a deferred Unlock does not
+// release (it holds until exit, matching the other analyzers). A
+// direct re-Lock of the very same instance is reported immediately as
+// a self-deadlock rather than drawn as an edge.
+//
+// The accumulated graph is exportable as Graphviz DOT via WriteDOT —
+// cmd/histlint's -lockgraph flag, published as a CI artifact so the
+// acquisition order is reviewable, not tribal.
+type LockOrder struct {
+	// nodes maps every lock node seen to its display name.
+	nodes map[types.Object]string
+	// edges maps held→acquired pairs to the first witnessing position.
+	edges map[loEdge]token.Pos
+	// acquires is the per-function summary: every lock node acquired
+	// anywhere in the function body, keyed by types.Func.FullName().
+	// Finish grows it to the transitive closure over calls.
+	acquires map[string]map[types.Object]bool
+	// calls is the call-graph summary: callee keys per function.
+	calls map[string]map[string]bool
+	// heldCalls are call sites executed with locks held; Finish turns
+	// them into propagated edges once callee summaries are complete.
+	heldCalls []loHeldCall
+}
+
+type loEdge struct{ from, to types.Object }
+
+type loHeldCall struct {
+	holder types.Object
+	callee string
+	pos    token.Pos
+}
+
+// NewLockOrder returns an empty accumulator. Use one per driver run —
+// state carries across packages by design, so sharing one between runs
+// would cross-contaminate their graphs.
+func NewLockOrder() *LockOrder {
+	return &LockOrder{
+		nodes:    make(map[types.Object]string),
+		edges:    make(map[loEdge]token.Pos),
+		acquires: make(map[string]map[types.Object]bool),
+		calls:    make(map[string]map[string]bool),
+	}
+}
+
+// Analyzer wraps the accumulator as a registerable analyzer.
+func (lo *LockOrder) Analyzer() *Analyzer {
+	return &Analyzer{
+		Name:   "lockorder",
+		Doc:    "the project-wide lock-acquisition graph is acyclic (a cycle is a potential deadlock)",
+		Run:    lo.run,
+		Finish: lo.finish,
+	}
+}
+
+func (lo *LockOrder) run(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			lo.scanFunc(pass, fn.FullName(), fd.Body)
+		}
+	}
+	return nil
+}
+
+// loEvent is one ordered lock-relevant occurrence in a scope.
+type loEvent struct {
+	pos      token.Pos
+	isLock   bool
+	op       lockOp
+	id       lockID
+	deferred bool
+	callee   string // for non-lock calls
+}
+
+// scanFunc collects events per lexical scope (the body and each
+// function literal separately — a literal is its own control-flow
+// universe and may run with a different lock set than its birthplace)
+// and replays them in source order against a held-lock set. All scopes
+// contribute to the named function's acquire/call summaries: whatever
+// a literal locks, calling the function may lock.
+func (lo *LockOrder) scanFunc(pass *Pass, fnKey string, body *ast.BlockStmt) {
+	var scopes [][]loEvent
+	deferredCall := make(map[*ast.CallExpr]bool)
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		idx := len(scopes)
+		scopes = append(scopes, nil)
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n.Body != nil && ast.Node(n.Body) != root {
+					walk(n.Body)
+				}
+				return false
+			case *ast.DeferStmt:
+				deferredCall[n.Call] = true
+			case *ast.CallExpr:
+				if op, id, ok := resolveLockCall(pass, n); ok {
+					scopes[idx] = append(scopes[idx], loEvent{
+						pos: n.Pos(), isLock: true, op: op, id: id, deferred: deferredCall[n],
+					})
+					return true
+				}
+				callee := calleeMethod(pass, n)
+				if callee == nil {
+					callee = calleeFunc(pass, n)
+				}
+				if callee != nil {
+					scopes[idx] = append(scopes[idx], loEvent{pos: n.Pos(), callee: callee.FullName()})
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	for _, events := range scopes {
+		sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		held := make(map[string]types.Object) // instance → node
+		for _, ev := range events {
+			switch {
+			case ev.isLock && ev.op.acquires() && !ev.deferred:
+				if _, already := held[ev.id.instance]; already && ev.op == opLock {
+					pass.Reportf(ev.pos,
+						"recursive acquisition of %s: it is already held on this path — sync mutexes are not reentrant, this self-deadlocks",
+						ev.id.display)
+				}
+				for inst, node := range held {
+					if inst == ev.id.instance || node == ev.id.node {
+						continue
+					}
+					lo.addEdge(node, ev.id.node, ev.pos)
+				}
+				held[ev.id.instance] = ev.id.node
+				lo.nodes[ev.id.node] = ev.id.display
+				lo.summary(lo.acquires, fnKey)[ev.id.node] = true
+			case ev.isLock && !ev.op.acquires() && !ev.deferred:
+				delete(held, ev.id.instance)
+			case !ev.isLock:
+				lo.callSummary(fnKey)[ev.callee] = true
+				if len(held) > 0 {
+					seen := make(map[types.Object]bool)
+					for _, node := range held {
+						if !seen[node] {
+							seen[node] = true
+							lo.heldCalls = append(lo.heldCalls, loHeldCall{node, ev.callee, ev.pos})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lo *LockOrder) summary(m map[string]map[types.Object]bool, key string) map[types.Object]bool {
+	s := m[key]
+	if s == nil {
+		s = make(map[types.Object]bool)
+		m[key] = s
+	}
+	return s
+}
+
+func (lo *LockOrder) callSummary(key string) map[string]bool {
+	s := lo.calls[key]
+	if s == nil {
+		s = make(map[string]bool)
+		lo.calls[key] = s
+	}
+	return s
+}
+
+func (lo *LockOrder) addEdge(from, to types.Object, pos token.Pos) {
+	if from == nil || to == nil || from == to {
+		return
+	}
+	e := loEdge{from, to}
+	if _, ok := lo.edges[e]; !ok {
+		lo.edges[e] = pos
+	}
+}
+
+// finish closes the acquire summaries over the call graph, turns
+// held-lock call sites into propagated edges, and reports every cycle.
+func (lo *LockOrder) finish(pass *Pass) error {
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range lo.calls {
+			for callee := range callees {
+				if len(lo.acquires[callee]) == 0 {
+					continue
+				}
+				nodes := make([]types.Object, 0, len(lo.acquires[callee]))
+				for node := range lo.acquires[callee] {
+					nodes = append(nodes, node)
+				}
+				set := lo.summary(lo.acquires, fn)
+				for _, node := range nodes {
+					if !set[node] {
+						set[node] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range lo.heldCalls {
+		for node := range lo.acquires[hc.callee] {
+			lo.addEdge(hc.holder, node, hc.pos)
+		}
+	}
+	for _, cyc := range lo.cycles() {
+		names := make([]string, len(cyc.nodes))
+		for i, n := range cyc.nodes {
+			names[i] = lo.nodes[n]
+		}
+		pass.Reportf(cyc.pos,
+			"potential deadlock: lock-order cycle %s → %s — pick one global acquisition order and hold to it on every path",
+			strings.Join(names, " → "), names[0])
+	}
+	return nil
+}
+
+// loCycle is one strongly connected component of ≥2 lock nodes, with
+// the earliest witnessing edge position for deterministic reporting.
+type loCycle struct {
+	nodes []types.Object
+	pos   token.Pos
+}
+
+// cycles finds non-trivial SCCs of the edge set (Tarjan), each
+// reported once with its members sorted by display name.
+func (lo *LockOrder) cycles() []loCycle {
+	adj := make(map[types.Object][]types.Object)
+	for e := range lo.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	verts := make([]types.Object, 0, len(lo.nodes))
+	for v := range lo.nodes {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return lo.nodes[verts[i]] < lo.nodes[verts[j]] })
+	for _, v := range verts {
+		ns := adj[v]
+		sort.Slice(ns, func(i, j int) bool { return lo.nodes[ns[i]] < lo.nodes[ns[j]] })
+	}
+
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	var stack []types.Object
+	next := 0
+	var out []loCycle
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				low[v] = min(low[v], low[w])
+			} else if onStack[w] {
+				low[v] = min(low[v], index[w])
+			}
+		}
+		if low[v] == index[v] {
+			var comp []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) < 2 {
+				return
+			}
+			sort.Slice(comp, func(i, j int) bool { return lo.nodes[comp[i]] < lo.nodes[comp[j]] })
+			inComp := make(map[types.Object]bool, len(comp))
+			for _, n := range comp {
+				inComp[n] = true
+			}
+			pos := token.NoPos
+			for e, p := range lo.edges {
+				if inComp[e.from] && inComp[e.to] && (pos == token.NoPos || p < pos) {
+					pos = p
+				}
+			}
+			out = append(out, loCycle{nodes: comp, pos: pos})
+		}
+	}
+	for _, v := range verts {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// WriteDOT renders the accumulated acquisition graph as Graphviz DOT,
+// nodes and edges sorted for stable diffs. Call after the driver run
+// (Finish has added the propagated edges by then).
+func (lo *LockOrder) WriteDOT(w io.Writer) error {
+	names := make([]string, 0, len(lo.nodes))
+	for _, name := range lo.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type edgeLine struct{ from, to string }
+	lines := make([]edgeLine, 0, len(lo.edges))
+	for e := range lo.edges {
+		lines = append(lines, edgeLine{lo.nodes[e.from], lo.nodes[e.to]})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].from != lines[j].from {
+			return lines[i].from < lines[j].from
+		}
+		return lines[i].to < lines[j].to
+	})
+	if _, err := fmt.Fprintln(w, "digraph lockorder {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %q;\n", n)
+	}
+	for _, l := range lines {
+		fmt.Fprintf(w, "  %q -> %q;\n", l.from, l.to)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

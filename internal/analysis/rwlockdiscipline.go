@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"histcube/internal/analysis/cfg"
+)
+
+// RWLockDiscipline enforces the invariant the upcoming RWMutex read
+// path lives or dies on: code running between RLock and RUnlock of an
+// annotated guard ("guarded by mu" where mu is a sync.RWMutex) must be
+// genuinely read-only — no writes to guarded fields, no calls to
+// mutating methods (methods that write guarded fields, take the write
+// lock, or transitively call something that does), and no mu.Lock()
+// upgrade attempts (an RLock-to-Lock upgrade on the same RWMutex
+// self-deadlocks).
+//
+// The analysis is CFG-backed: a "maybe read-locked" set is propagated
+// forward over basic blocks (deferred RUnlocks hold until exit, like
+// mutexguard's convention), so a write reachable from an RLock on any
+// path is reported even when the RLock sits in a different branch arm
+// than the write. That path-sensitivity is what lets converged
+// read-mostly historic slices move behind an RWMutex without trusting
+// reviews to spot a mutation smuggled into the read path — which is
+// exactly how the paper's lazy DDC→PS conversion (a query that
+// *writes*) would bite.
+var RWLockDiscipline = &Analyzer{
+	Name: "rwlockdiscipline",
+	Doc:  "code under RLock never writes guarded fields, calls mutating methods, or upgrades the lock",
+	Run:  runRWLockDiscipline,
+}
+
+func runRWLockDiscipline(pass *Pass) error {
+	guards := collectGuards(pass, false)
+	// Only RWMutex guards have a read mode to police.
+	rw := make(map[*types.TypeName]*mgGuard)
+	for tn, g := range guards {
+		if n := namedOf(g.muVar.Type()); n != nil && n.Obj().Name() == "RWMutex" {
+			rw[tn] = g
+		}
+	}
+	if len(rw) == 0 {
+		return nil
+	}
+	mutating := collectMutators(pass, rw)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkFuncBodies(pass, fd.Body, func(p *Pass, body *ast.BlockStmt) {
+				checkRLockRegions(p, body, fd.Name.Name, rw, mutating)
+			})
+		}
+	}
+	return nil
+}
+
+// collectMutators classifies, per guarded type, which methods mutate:
+// write a guarded field, acquire the guard's write lock, or call
+// another mutating method of the same type. Computed to a fixpoint so
+// helper chains are seen through.
+func collectMutators(pass *Pass, rw map[*types.TypeName]*mgGuard) map[*types.Func]bool {
+	type methodInfo struct {
+		fn    *types.Func
+		tn    *types.TypeName
+		calls []*types.Func
+		dirty bool // writes a guarded field or takes the write lock directly
+	}
+	var methods []*methodInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tn := receiverTypeName(pass, fd)
+			g, guarded := rw[tn]
+			if !guarded {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			mi := &methodInfo{fn: fn, tn: tn}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if writesGuarded(pass, lhs, g) {
+							mi.dirty = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if writesGuarded(pass, n.X, g) {
+						mi.dirty = true
+					}
+				case *ast.CallExpr:
+					if op, id, ok := resolveLockCall(pass, n); ok && op == opLock && id.node == g.muVar {
+						mi.dirty = true
+					}
+					if callee := calleeMethod(pass, n); callee != nil {
+						mi.calls = append(mi.calls, callee)
+					}
+				}
+				return true
+			})
+			methods = append(methods, mi)
+		}
+	}
+	mutating := make(map[*types.Func]bool)
+	for _, mi := range methods {
+		if mi.dirty {
+			mutating[mi.fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range methods {
+			if mutating[mi.fn] {
+				continue
+			}
+			for _, callee := range mi.calls {
+				if mutating[callee] {
+					mutating[mi.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return mutating
+}
+
+// writesGuarded reports whether an assignment target touches a field
+// guarded by g (directly or through an index/slice of it).
+func writesGuarded(pass *Pass, lhs ast.Expr, g *mgGuard) bool {
+	found := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := pass.Info.Selections[se]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		if fv, _ := sel.Obj().(*types.Var); fv != nil && g.guarded[fv] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// rwEvent is one ordered occurrence inside a block's nodes.
+type rwEvent struct {
+	pos token.Pos
+	// lock-state transitions
+	acquire, release string // instance keys ("" when not applicable)
+	// violation checks, evaluated against the held set at this point
+	violation func(held map[string]bool)
+}
+
+// checkRLockRegions runs the forward maybe-RLocked dataflow over one
+// function body and reports writes, mutating calls and upgrades that
+// can execute with a read lock held.
+func checkRLockRegions(pass *Pass, body *ast.BlockStmt, funcName string, rw map[*types.TypeName]*mgGuard, mutating map[*types.Func]bool) {
+	g := cfg.New(body)
+	events := make([][]rwEvent, len(g.Blocks))
+	any := false
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			evs := nodeEvents(pass, node, funcName, rw, mutating)
+			if len(evs) > 0 {
+				any = true
+			}
+			events[b.Index] = append(events[b.Index], evs...)
+		}
+		sort.SliceStable(events[b.Index], func(i, j int) bool {
+			return events[b.Index][i].pos < events[b.Index][j].pos
+		})
+	}
+	if !any {
+		return
+	}
+
+	// Forward dataflow: in[b] = union of out[pred]; transfer applies
+	// acquire/release transitions in order.
+	in := make([]map[string]bool, len(g.Blocks))
+	in[g.Entry.Index] = map[string]bool{}
+	work := []*cfg.Block{g.Entry}
+	transfer := func(b *cfg.Block) map[string]bool {
+		held := copySet(in[b.Index])
+		for _, ev := range events[b.Index] {
+			if ev.acquire != "" {
+				held[ev.acquire] = true
+			}
+			if ev.release != "" {
+				delete(held, ev.release)
+			}
+		}
+		return held
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b)
+		for _, s := range b.Succs {
+			if union(&in[s.Index], out) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Violation pass: replay each reachable block with its in-state.
+	for _, b := range g.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		held := copySet(in[b.Index])
+		for _, ev := range events[b.Index] {
+			if ev.violation != nil {
+				ev.violation(held)
+			}
+			if ev.acquire != "" {
+				held[ev.acquire] = true
+			}
+			if ev.release != "" {
+				delete(held, ev.release)
+			}
+		}
+	}
+}
+
+// nodeEvents extracts the ordered lock transitions and violation
+// checks from one CFG node.
+func nodeEvents(pass *Pass, node ast.Node, funcName string, rw map[*types.TypeName]*mgGuard, mutating map[*types.Func]bool) []rwEvent {
+	var evs []rwEvent
+	guardOf := func(tn *types.TypeName) *mgGuard { return rw[tn] }
+
+	lockCallsIn(pass, node, func(call *ast.CallExpr, op lockOp, id lockID, deferred bool) {
+		switch op {
+		case opRLock:
+			if !deferred {
+				evs = append(evs, rwEvent{pos: call.Pos(), acquire: id.instance})
+			}
+		case opRUnlock:
+			if !deferred { // a deferred RUnlock holds until exit
+				evs = append(evs, rwEvent{pos: call.Pos(), release: id.instance})
+			}
+		case opLock:
+			inst := id.instance
+			disp := id.display
+			pos := call.Pos()
+			evs = append(evs, rwEvent{pos: pos, violation: func(held map[string]bool) {
+				if held[inst] {
+					pass.Reportf(pos,
+						"%s() on %s while it is read-locked in %s: RWMutex upgrades self-deadlock — release the RLock first or take the write lock from the start",
+						op, disp, funcName)
+				}
+			}})
+		}
+	})
+
+	inspectSkippingFuncLits(node, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				evs = append(evs, writeEvents(pass, lhs, funcName, guardOf)...)
+			}
+		case *ast.IncDecStmt:
+			evs = append(evs, writeEvents(pass, n.X, funcName, guardOf)...)
+		case *ast.CallExpr:
+			callee := calleeMethod(pass, n)
+			if callee == nil || !mutating[callee] {
+				return
+			}
+			se := n.Fun.(*ast.SelectorExpr)
+			tn := namedTypeName(pass, se.X)
+			g := guardOf(tn)
+			if g == nil {
+				return
+			}
+			root, fields, ok := fieldChain(pass, se.X)
+			if !ok {
+				return
+			}
+			inst := chainKey(root, fields, g.muName)
+			pos := n.Pos()
+			name := callee.Name()
+			owner := tn.Name()
+			evs = append(evs, rwEvent{pos: pos, violation: func(held map[string]bool) {
+				if held[inst] {
+					pass.Reportf(pos,
+						"call to mutating method %s.%s under %s.RLock() in %s: it writes guarded fields or takes the write lock — the read path must stay read-only",
+						owner, name, g.muName, funcName)
+				}
+			}})
+		}
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// writeEvents yields a violation event per guarded-field selector in
+// an assignment target.
+func writeEvents(pass *Pass, lhs ast.Expr, funcName string, guardOf func(*types.TypeName) *mgGuard) []rwEvent {
+	var evs []rwEvent
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := pass.Info.Selections[se]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		fv, _ := sel.Obj().(*types.Var)
+		if fv == nil {
+			return true
+		}
+		tn := namedTypeName(pass, se.X)
+		g := guardOf(tn)
+		if g == nil || !g.guarded[fv] {
+			return true
+		}
+		root, fields, ok2 := fieldChain(pass, se.X)
+		if !ok2 {
+			return true
+		}
+		inst := chainKey(root, fields, g.muName)
+		pos := se.Sel.Pos()
+		fieldName := fv.Name()
+		owner := tn.Name()
+		muName := g.muName
+		evs = append(evs, rwEvent{pos: pos, violation: func(held map[string]bool) {
+			if held[inst] {
+				pass.Reportf(pos,
+					"write to %s.%s under %s.RLock() in %s: guarded state must not change on the read path — take the write lock",
+					owner, fieldName, muName, funcName)
+			}
+		}})
+		return true
+	})
+	return evs
+}
+
+// namedTypeName resolves an expression's named type (after pointer
+// deref) to its *types.TypeName, or nil.
+func namedTypeName(pass *Pass, e ast.Expr) *types.TypeName {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	if n := namedOf(tv.Type); n != nil {
+		return n.Obj()
+	}
+	return nil
+}
+
+// inspectSkippingFuncLits walks one CFG node, skipping function
+// literal bodies (separate control-flow universes) and deferred calls'
+// contents are still visited — a deferred mutation runs at exit, where
+// the deferred RUnlock has not yet released, so it is still in scope.
+func inspectSkippingFuncLits(node ast.Node, visit func(ast.Node)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// union merges src into *dst, allocating it on first touch; reports
+// whether *dst grew (the dataflow's change signal).
+func union(dst *map[string]bool, src map[string]bool) bool {
+	if *dst == nil {
+		*dst = copySet(src)
+		return true
+	}
+	grew := false
+	for k := range src {
+		if !(*dst)[k] {
+			(*dst)[k] = true
+			grew = true
+		}
+	}
+	return grew
+}

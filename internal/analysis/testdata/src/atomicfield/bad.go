@@ -1,0 +1,33 @@
+// Package atomicfield exercises all-or-nothing atomicity: once any
+// access to a field goes through sync/atomic — or the field is marked
+// //guarded-by:atomic — every access must.
+package atomicfield
+
+import "sync/atomic"
+
+type Counter struct {
+	hits int64  // atomic by use: see Inc
+	flag uint32 //guarded-by:atomic
+	name string // plain field, never atomic — untouched by the check
+}
+
+// Inc is the use that puts hits under the atomic rule.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// BadRead mixes a plain load with the atomic add above: a data race.
+func (c *Counter) BadRead() int64 {
+	return c.hits // want `plain access to hits`
+}
+
+// BadWrite is the same race on the store side.
+func (c *Counter) BadWrite() {
+	c.hits = 0 // want `plain access to hits`
+}
+
+// BadFlag touches an annotated field non-atomically — the annotation
+// alone is enough, no atomic call needed first.
+func (c *Counter) BadFlag() {
+	c.flag = 1 // want `plain access to flag`
+}

@@ -1,0 +1,3 @@
+module example.com/atomicfield
+
+go 1.22

@@ -1,0 +1,26 @@
+package atomicfield
+
+import "sync/atomic"
+
+// GoodRead goes through sync/atomic, like every access must.
+func (c *Counter) GoodRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// GoodFlag honours the annotation.
+func (c *Counter) GoodFlag() {
+	atomic.StoreUint32(&c.flag, 1)
+}
+
+// Name touches a field with no atomic history: out of scope.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// NewCounter initialises before the value is shared — justified, and
+// the directive is consumed by a real finding (not stale).
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0 //histlint:ignore atomicfield not shared yet: plain init before publication
+	return c
+}

@@ -1,0 +1,25 @@
+// Package ctxloop exercises cancellation honesty: an unbounded loop
+// in a context-taking function must touch the context somewhere
+// inside the loop.
+package ctxloop
+
+import "context"
+
+// BadSpin waits forever without ever looking at ctx.
+func BadSpin(ctx context.Context, ready func() bool) {
+	for { // want `unbounded for loop in BadSpin never polls cancellation`
+		if ready() {
+			return
+		}
+	}
+}
+
+// BadDrain ranges a channel that may never close while the request is
+// long dead.
+func BadDrain(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for v := range ch { // want `range over channel in BadDrain never polls cancellation`
+		total += v
+	}
+	return total
+}

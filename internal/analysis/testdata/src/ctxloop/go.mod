@@ -1,0 +1,3 @@
+module example.com/ctxloop
+
+go 1.22

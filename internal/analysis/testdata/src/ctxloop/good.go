@@ -1,0 +1,70 @@
+package ctxloop
+
+import "context"
+
+// GoodSpin polls ctx.Err each iteration.
+func GoodSpin(ctx context.Context, ready func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if ready() {
+			return nil
+		}
+	}
+}
+
+// GoodSelect selects on ctx.Done.
+func GoodSelect(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// GoodDelegate passes ctx into the loop body — the callee does the
+// polling.
+func GoodDelegate(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+// GoodBounded terminates on its own; bounded loops are out of scope.
+func GoodBounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// NoPromise has no context parameter: nothing was promised.
+func NoPromise(ready func() bool) {
+	for {
+		if ready() {
+			return
+		}
+	}
+}
+
+// Flush must run to completion regardless of cancellation — the
+// justified-exception escape hatch.
+func Flush(ctx context.Context, ch <-chan int) int {
+	total := 0
+	//histlint:ignore ctxloop drain must empty the channel even after cancellation
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package deferunlock exercises release-on-all-paths checking: a lock
+// acquisition must be matched by a defer or by an explicit release on
+// every control-flow path to a function exit.
+package deferunlock
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+type R struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Bad leaks the lock on the early-return path.
+func (s *S) Bad(b bool) int {
+	s.mu.Lock() // want `Lock\(\) is not released on every path`
+	if b {
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// BadRLock leaks the read lock the same way.
+func (r *R) BadRLock(b bool) int {
+	r.mu.RLock() // want `RLock\(\) is not released on every path`
+	if b {
+		return 1
+	}
+	r.mu.RUnlock()
+	return 0
+}
+
+// BadCondDefer registers the defer on only one branch; the other
+// branch reaches the exit still holding the lock.
+func (s *S) BadCondDefer(b bool) {
+	s.mu.Lock() // want `Lock\(\) is not released on every path`
+	if b {
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+// BadLoopBreak escapes the loop between Lock and Unlock.
+func (s *S) BadLoopBreak(xs []int) {
+	for _, x := range xs {
+		s.mu.Lock() // want `Lock\(\) is not released on every path`
+		if x < 0 {
+			break
+		}
+		s.mu.Unlock()
+	}
+}
+
+// BadSwitch forgets the release in one case.
+func (s *S) BadSwitch(k int) int {
+	s.mu.Lock() // want `Lock\(\) is not released on every path`
+	switch k {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	case 1:
+		return 1
+	}
+	s.mu.Unlock()
+	return 2
+}

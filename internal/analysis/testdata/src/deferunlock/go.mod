@@ -1,0 +1,3 @@
+module example.com/deferunlock
+
+go 1.22

@@ -1,0 +1,61 @@
+package deferunlock
+
+// GoodDefer releases via the canonical defer-right-after idiom.
+func (s *S) GoodDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// GoodBranches releases explicitly on each path.
+func (s *S) GoodBranches(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// GoodPanic releases before panicking — the panic edge counts as an
+// exit and is covered.
+func (s *S) GoodPanic(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// GoodClosure: the literal is its own control-flow universe and locks
+// for itself.
+func (s *S) GoodClosure() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}
+}
+
+// GoodSpin holds across iterations of an infinite loop — there is no
+// path to the exit, so the obligation is vacuously met.
+func (s *S) GoodSpin() {
+	s.mu.Lock()
+	for {
+		s.n++
+	}
+}
+
+// lockAndReturn intentionally hands the held lock to its caller.
+func (s *S) lockAndReturn() {
+	//histlint:ignore deferunlock lock handoff: the caller releases via unlockNow
+	s.mu.Lock()
+}
+
+// unlockNow releases the lock lockAndReturn handed over — a bare
+// release is not an acquisition and needs no directive.
+func (s *S) unlockNow() {
+	s.mu.Unlock()
+}

@@ -1,0 +1,29 @@
+// Package directives exercises the histlint:ignore directive parser
+// and the stale-directive check: a directive without a reason is
+// itself a finding, a directive naming an unknown analyzer is always
+// a finding (a typo would otherwise silently suppress nothing
+// forever), and a directive whose analyzer ran but reported nothing is
+// stale.
+package directives
+
+func noReason() int {
+	//histlint:ignore nofloateq
+	return 0
+}
+
+func unknownAnalyzer() int {
+	//histlint:ignore nofloatql suppressing a misspelled analyzer name
+	return 0
+}
+
+// stale suppresses nothing: the comparison it once justified is gone.
+func stale() int {
+	//histlint:ignore nofloateq the float comparison here moved to stats
+	return 0
+}
+
+// justified still covers a real finding, so it is used, not stale.
+func justified(a, b float64) bool {
+	//histlint:ignore nofloateq exact bit-equality intended: comparing against a sentinel
+	return a == b
+}

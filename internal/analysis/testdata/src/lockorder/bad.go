@@ -1,0 +1,72 @@
+// Package lockorder exercises the project-wide acquisition graph: an
+// AB/BA inversion across two functions is a cycle (potential
+// deadlock), including when one half of it hides behind a call.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type World struct {
+	a A
+	b B
+}
+
+// AB establishes the a→b edge.
+func (w *World) AB() {
+	w.a.mu.Lock()
+	defer w.a.mu.Unlock()
+	w.b.mu.Lock() // want `lock-order cycle lockorder.A.mu → lockorder.B.mu → lockorder.A.mu`
+	defer w.b.mu.Unlock()
+}
+
+// BA inverts it: b→a closes the cycle. The diagnostic lands on the
+// earliest witnessing edge, which is AB's inner acquisition above.
+func (w *World) BA() {
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	w.a.mu.Lock()
+	defer w.a.mu.Unlock()
+}
+
+// Recursive re-locks the very same instance: reported immediately,
+// not drawn as an edge.
+func (w *World) Recursive() {
+	w.a.mu.Lock()
+	w.a.mu.Lock() // want `recursive acquisition of lockorder.A.mu`
+	w.a.mu.Unlock()
+	w.a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+// poke acquires C.mu; callers holding other locks inherit the edge
+// through the call-graph summary.
+func (c *C) poke() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+type Pair struct {
+	d sync.Mutex
+	c *C
+}
+
+// Held holds d across the call into poke: the propagated edge
+// Pair.d→C.mu is recorded here, and this is the cycle's earliest
+// witness.
+func (p *Pair) Held() {
+	p.d.Lock()
+	defer p.d.Unlock()
+	p.c.poke() // want `lock-order cycle lockorder.C.mu → lockorder.Pair.d → lockorder.C.mu`
+}
+
+// Inverse acquires in the opposite order directly.
+func (p *Pair) Inverse() {
+	p.c.mu.Lock()
+	defer p.c.mu.Unlock()
+	p.d.Lock()
+	p.d.Unlock()
+}

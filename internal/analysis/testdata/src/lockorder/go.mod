@@ -1,0 +1,3 @@
+module example.com/lockorder
+
+go 1.22

@@ -1,0 +1,45 @@
+package lockorder
+
+import "sync"
+
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+type Consistent struct {
+	x X
+	y Y
+}
+
+// Both call sites agree on x-before-y: one edge, no cycle.
+func (c *Consistent) First() {
+	c.x.mu.Lock()
+	defer c.x.mu.Unlock()
+	c.y.mu.Lock()
+	defer c.y.mu.Unlock()
+}
+
+func (c *Consistent) Second() {
+	c.x.mu.Lock()
+	c.y.mu.Lock()
+	c.y.mu.Unlock()
+	c.x.mu.Unlock()
+}
+
+// Sequential never holds both at once: no edge at all.
+func (c *Consistent) Sequential() {
+	c.y.mu.Lock()
+	c.y.mu.Unlock()
+	c.x.mu.Lock()
+	c.x.mu.Unlock()
+}
+
+// Striped locks two instances of the SAME field: self-edges are
+// deliberately never recorded (ordering within one field is out of
+// scope), so this draws nothing.
+func Striped(a, b *X) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}

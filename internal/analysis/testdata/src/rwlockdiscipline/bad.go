@@ -1,0 +1,75 @@
+// Package rwlockdiscipline exercises read-path purity: between RLock
+// and RUnlock of an annotated RWMutex guard, guarded fields must not
+// be written, mutating methods must not be called, and the lock must
+// not be upgraded.
+package rwlockdiscipline
+
+import "sync"
+
+type Store struct {
+	mu    sync.RWMutex
+	cells map[int]int // guarded by mu
+	gen   int         // guarded by mu
+}
+
+// BadWrite mutates guarded state on the read path.
+func (s *Store) BadWrite(k, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.cells[k] = v // want `write to Store.cells under mu.RLock\(\)`
+}
+
+// BadIncDec is a write too.
+func (s *Store) BadIncDec() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.gen++ // want `write to Store.gen under mu.RLock\(\)`
+}
+
+// BadUpgrade takes the write lock while read-locked: self-deadlock.
+func (s *Store) BadUpgrade() {
+	s.mu.RLock()
+	s.mu.Lock() // want `while it is read-locked`
+	s.mu.Unlock()
+	s.mu.RUnlock()
+}
+
+// bump writes gen under the write lock — a mutating method.
+func (s *Store) bump() {
+	s.mu.Lock()
+	s.gen++
+	s.mu.Unlock()
+}
+
+// refresh is mutating transitively, through bump.
+func (s *Store) refresh() { s.bump() }
+
+// BadCall invokes a mutating method from the read path.
+func (s *Store) BadCall(k int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.bump() // want `call to mutating method Store.bump under mu.RLock\(\)`
+	return s.cells[k]
+}
+
+// BadTransitiveCall is caught through the call-summary fixpoint.
+func (s *Store) BadTransitiveCall() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.refresh() // want `call to mutating method Store.refresh under mu.RLock\(\)`
+}
+
+// BadBranch shows the CFG path-sensitivity: the RLock is taken on only
+// one branch, and the write after the join is reachable with it held.
+func (s *Store) BadBranch(fast bool, k, v int) {
+	if fast {
+		s.mu.RLock()
+	} else {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.cells[k] = v // want `write to Store.cells under mu.RLock\(\)`
+	if fast {
+		s.mu.RUnlock()
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/rwlockdiscipline
+
+go 1.22

@@ -1,0 +1,43 @@
+package rwlockdiscipline
+
+// Get is the shape the analyzer exists to protect: a pure read under
+// the read lock.
+func (s *Store) Get(k int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cells[k]
+}
+
+// Put writes under the write lock — the held set tracks only read
+// acquisitions, so nothing fires.
+func (s *Store) Put(k, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cells[k] = v
+	s.gen++
+}
+
+// Snapshot reads several guarded fields and calls a read-only helper;
+// non-mutating methods are fine on the read path.
+func (s *Store) Snapshot() (int, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sizeLocked(), s.gen
+}
+
+// sizeLocked is read-only: not a mutator, and exempt from checking by
+// the Locked-suffix convention anyway.
+func (s *Store) sizeLocked() int { return len(s.cells) }
+
+// Reread releases the read lock before mutating: the explicit RUnlock
+// removes the instance from the held set.
+func (s *Store) Reread(k, v int) {
+	s.mu.RLock()
+	stale := s.cells[k] != v
+	s.mu.RUnlock()
+	if stale {
+		s.mu.Lock()
+		s.cells[k] = v
+		s.mu.Unlock()
+	}
+}

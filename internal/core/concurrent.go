@@ -10,7 +10,7 @@ import "sync"
 // safe to call from multiple goroutines.
 type SafeCube struct {
 	mu sync.Mutex
-	c  *Cube
+	c  *Cube // guarded by mu
 }
 
 // NewSafe wraps an existing cube. The caller must stop using the inner

@@ -200,7 +200,7 @@ func isNilObserver(o Observer) bool {
 // keeps every sample, so quantiles are exact (internal/stats).
 type Series struct {
 	mu sync.Mutex
-	xs []float64
+	xs []float64 // guarded by mu
 }
 
 // Observe implements Observer.
@@ -286,8 +286,8 @@ type family struct {
 // them in the Prometheus text exposition format.
 type Registry struct {
 	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	families []*family          // guarded by mu
+	byName   map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

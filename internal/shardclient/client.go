@@ -72,10 +72,10 @@ type Client struct {
 	idle chan *wire
 
 	mu       sync.Mutex
-	fails    int       // consecutive transport failures
-	openedAt time.Time // zero while the breaker is closed
-	trialing bool      // a half-open trial is in flight
-	closed   bool
+	fails    int       // guarded by mu; consecutive transport failures
+	openedAt time.Time // guarded by mu; zero while the breaker is closed
+	trialing bool      // guarded by mu; a half-open trial is in flight
+	closed   bool      // guarded by mu
 }
 
 // wire is one pooled connection.
@@ -289,6 +289,12 @@ func (c *Client) attempt(ctx context.Context, line string, multi bool) (_ []stri
 	lines := []string{first}
 	if multi && !strings.HasPrefix(first, "ERR") {
 		for {
+			if err := ctx.Err(); err != nil {
+				// Cancellation without a ctx deadline would otherwise ride
+				// the full OpTimeout on every remaining line read.
+				w.conn.Close() //histlint:ignore errwrap conn is being discarded for the cancelled request
+				return nil, reused, fmt.Errorf("shard %s: %w", c.addr, err)
+			}
 			if len(lines) > maxResponseLines {
 				w.conn.Close() //histlint:ignore errwrap conn is being discarded for the oversized response
 				return nil, reused, fmt.Errorf("shard %s: response exceeds %d lines", c.addr, maxResponseLines)
