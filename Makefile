@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint lockgraph fuzz explain traceguard perfguard chaos shardchaos
+.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint lockgraph fuzz explain traceguard perfguard chaos shardchaos runtimemetrics
 
 check:
 	./check.sh
@@ -27,6 +27,7 @@ fuzz:
 	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
 	go test -run='^$$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
 	go test -run='^$$' -fuzz=FuzzShardMapParse -fuzztime=10s ./internal/shard/
+	go test -run='^$$' -fuzz=FuzzSpanJSON -fuzztime=10s ./internal/trace/
 
 # Full load run against the real server: writes the next
 # BENCH_<seq>.json trajectory point plus pprof profiles. Compare two
@@ -83,6 +84,11 @@ traceguard:
 
 perfguard:
 	go test -count=1 -v -run TestRecorderOverhead ./internal/perf/
+
+# Smoke the runtime/contention collector: every histcube_runtime_* and
+# histcube_lock_* series must render from a live registry.
+runtimemetrics:
+	go test -race -count=1 -v -run 'TestRuntimeMetrics|TestMutexContentionEvents' ./internal/obs/
 
 fmt:
 	gofmt -w .

@@ -35,6 +35,7 @@ echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/wal/
 go test -run='^$' -fuzz=FuzzCSVWorkload -fuzztime=10s ./internal/workload/
 go test -run='^$' -fuzz=FuzzShardMapParse -fuzztime=10s ./internal/shard/
+go test -run='^$' -fuzz=FuzzSpanJSON -fuzztime=10s ./internal/trace/
 
 echo "== crash-injection durability test =="
 # Runs inside the suite above too; re-run by name so a durability

@@ -127,5 +127,9 @@ func summarize(r *Report, out io.Writer) {
 			fmt.Fprintf(out, "  %-12s cells/probe %d -> %d (ratio %.3f; DDC bound %.0f, PS bound %.0f), conversions %d\n",
 				"", u.FirstCellsTouched, u.LastCellsTouched, u.CellsRatio, u.DDCBound, u.PSBound, u.ConversionsDelta)
 		}
+		if rt := m.Runtime; rt != nil {
+			fmt.Fprintf(out, "  %-12s lock wait %.3fs over %.0f contention events, gc p99 %.1fms, %.0f goroutines\n",
+				"", rt.LockWaitSecondsDelta, rt.LockContentionEventsDelta, rt.GCPauseP99Seconds*1e3, rt.Goroutines)
+		}
 	}
 }

@@ -265,6 +265,7 @@ func (e *engine) runMix(m mixSpec, seed int64) (*MixResult, error) {
 			return nil, fmt.Errorf("scraping /metrics: %w", err)
 		}
 		res.ServerDeltas = metricsDelta(before, after)
+		res.Runtime = runtimeStats(before, after)
 	}
 	if units != nil {
 		totals, err := e.explainTotals(ctl, pool[0])

@@ -36,13 +36,18 @@ type serverProc struct {
 
 // launchServer starts bin with ephemeral protocol and metrics ports
 // plus -ooo (concurrent writers interleave times; rejections would
-// pollute the error counts) and waits for both listen addresses.
+// pollute the error counts) and waits for both listen addresses. The
+// runtime sampler runs at 1s so 5s mixes get fresh gauges, and mutex
+// profiling is on (fraction 100: ~1% of contention events) so the
+// BENCH record's lock_contention_events_delta is populated.
 func launchServer(bin, dims string, extraArgs []string) (*serverProc, error) {
 	return launchProc(bin, append([]string{
 		"-addr", "127.0.0.1:0",
 		"-metrics", "127.0.0.1:0",
 		"-dims", dims,
 		"-ooo",
+		"-runtime-metrics-every", "1s",
+		"-mutex-profile-fraction", "100",
 	}, extraArgs...))
 }
 
@@ -150,6 +155,8 @@ func launchTopology(serveBin, proxyBin, dims string, shardCount, timeSpan int) (
 		"-metrics", "127.0.0.1:0",
 		"-dims", dims,
 		"-shards", spec.String(),
+		"-runtime-metrics-every", "1s",
+		"-mutex-profile-fraction", "100",
 	})
 	if err != nil {
 		topo.stop()
@@ -291,6 +298,27 @@ var serverDeltaKeys = map[string]string{
 	`histproxy_partials_total`:            "partials",
 	`histproxy_fanout_legs_total`:         "fanout_legs",
 	`histproxy_leg_failures_total`:        "leg_failures",
+}
+
+// runtimeStats digests the runtime/contention series of a scrape pair;
+// nil when the target does not expose the runtime collector (older
+// binary or no metrics listener), so old BENCH records stay comparable.
+func runtimeStats(before, after map[string]float64) *RuntimeStats {
+	if after == nil {
+		return nil
+	}
+	if _, ok := after["histcube_runtime_goroutines"]; !ok {
+		return nil
+	}
+	return &RuntimeStats{
+		Goroutines:                after["histcube_runtime_goroutines"],
+		HeapBytes:                 after["histcube_runtime_heap_bytes"],
+		GCPauseP99Seconds:         after["histcube_runtime_gc_pause_p99_seconds"],
+		SchedLatencyP99Seconds:    after["histcube_runtime_sched_latency_p99_seconds"],
+		GCCyclesDelta:             after["histcube_runtime_gc_cycles_total"] - before["histcube_runtime_gc_cycles_total"],
+		LockWaitSecondsDelta:      after["histcube_lock_wait_seconds_total"] - before["histcube_lock_wait_seconds_total"],
+		LockContentionEventsDelta: after["histcube_lock_contention_events_total"] - before["histcube_lock_contention_events_total"],
+	}
 }
 
 // metricsDelta reports after-before for the series of interest.

@@ -90,6 +90,25 @@ type MixResult struct {
 	// PaperUnits carries the hardware-independent EXPLAIN cost
 	// numbers for the convergence mix.
 	PaperUnits *PaperUnits `json:"paper_units,omitempty"`
+	// Runtime digests the target's histcube_runtime_*/histcube_lock_*
+	// telemetry around the timed phase (absent when the target predates
+	// the runtime collector or exposes no metrics listener).
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
+}
+
+// RuntimeStats is the runtime/contention block of one mix: gauges read
+// from the scrape at the end of the timed phase, monotonic counters as
+// deltas across it. Lock fields quantify the single-mutex serving
+// bottleneck under this mix's load; contention events are sampled
+// (histperf launches servers with -mutex-profile-fraction 100).
+type RuntimeStats struct {
+	Goroutines                float64 `json:"goroutines"`
+	HeapBytes                 float64 `json:"heap_bytes"`
+	GCPauseP99Seconds         float64 `json:"gc_pause_p99_seconds"`
+	SchedLatencyP99Seconds    float64 `json:"sched_latency_p99_seconds"`
+	GCCyclesDelta             float64 `json:"gc_cycles_delta"`
+	LockWaitSecondsDelta      float64 `json:"lock_wait_seconds_delta"`
+	LockContentionEventsDelta float64 `json:"lock_contention_events_delta"`
 }
 
 // PaperUnits captures the paper's own cost model around a mix: the

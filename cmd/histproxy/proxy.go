@@ -28,9 +28,16 @@
 //	         pooled connections (internal/shardclient), partial sums
 //	         merged by addition. All legs answered -> the plain number,
 //	         bit-identical to a single cube holding all the data.
-//	EXPLAIN  fanned out as EXPLAIN QRY; the proxy renders its own span
-//	         tree (proxy.query root, one proxy.leg child per shard) and
-//	         sums the shards' paper-unit cost totals.
+//	EXPLAIN  fanned out as EXPLAIN JSON QRY; each shard ships its whole
+//	         span tree back as one JSON document and the proxy grafts it
+//	         under the matching proxy.leg span, so the rendered tree is
+//	         one merged trace (proxy.query root, one proxy.leg child per
+//	         shard, the shard's own spans below) and the totals line is
+//	         Total over that tree — bit-identical to summing the shards'
+//	         flat totals, because counters travel as int64.
+//	SLOWLOG  answered by the proxy itself from its own slow-query log
+//	         (-slow-query-threshold / -slowlog-size), same line format
+//	         as a shard's SLOWLOG.
 //	STATS    fanned out; numeric fields are summed across shards
 //	         (window and percentile fields take the max; sealed_through
 //	         takes the max; non-numeric fields like git_rev are
@@ -55,12 +62,21 @@
 // startup by issuing SEAL <hi> — a misrouted or replayed mutation
 // cannot silently land in history another shard answers for.
 //
+// Distributed tracing: every request's root span carries a trace ID,
+// generated at the proxy edge or adopted from a client's leading
+// "TID=<16 hex>" token. The proxy stamps that ID on every shard-bound
+// line — fan-out legs and routed mutations alike — so the shards' root
+// spans adopt it too, and one identifier correlates a request across
+// proxy and shard slog lines, both SLOWLOGs, and both sides'
+// /debug/slowlog and /debug/trace/recent feeds.
+//
 // The proxy carries the same production treatment as histserve:
 // per-command sliding-window latency recorders (internal/perf,
 // histproxy_cmd_* gauges), histproxy_* request/error/partial counters
 // and per-shard health gauges on -metrics (/metrics, /healthz,
 // /readyz gated on the shard map being loaded, /debug/perf,
-// /debug/trace/recent, /debug/pprof/*), request timeouts, -max-conns
+// /debug/slowlog, /debug/trace/recent, /debug/pprof/*), request
+// timeouts, -max-conns
 // and line-length governance, and per-request panic recovery.
 package main
 
@@ -77,6 +93,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -95,7 +112,7 @@ import (
 
 // commands lists every protocol verb the proxy accounts, mirroring
 // histserve's label discipline ("other" catches unknown verbs).
-var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "STATS", "VERSION", "SHARDS", "QUIT", "other"}
+var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "VERSION", "SHARDS", "QUIT", "other"}
 
 // errInternal is the client-visible face of a recovered panic.
 var errInternal = errors.New("internal error (recovered panic; see proxy log)")
@@ -109,6 +126,7 @@ type proxy struct {
 	log    *slog.Logger
 	perf   *perf.Set
 	recent *trace.Ring
+	slow   *trace.SlowLog
 	meta   perf.RunMeta
 
 	// ready gates /readyz on the shard map being loaded and the client
@@ -153,7 +171,11 @@ func main() {
 		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects before the half-open trial")
 		probeIv  = flag.Duration("probe-every", 500*time.Millisecond, "background health-probe interval for unhealthy shards; 0 disables (rejoin then waits for client traffic)")
 		perfWin  = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests")
+		slowThr  = flag.Duration("slow-query-threshold", 10*time.Millisecond, "fan-out queries at or above this end-to-end duration enter the proxy's slow-query log")
+		slowCap  = flag.Int("slowlog-size", 32, "worst traces retained by the proxy's slow-query log")
 		sealHist = flag.Bool("seal-historic", false, "at startup, demote every closed-range shard with SEAL <hi> so misrouted mutations cannot land in owned history")
+		rtEvery  = flag.Duration("runtime-metrics-every", 10*time.Second, "sampling interval for histcube_runtime_* gauges (GC pause, goroutines, scheduler latency); 0 disables the sampler")
+		mutexPF  = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 samples every contention event, 0 disables); populates /debug/pprof/mutex and scales histcube_lock_contention_events_total")
 	)
 	flag.Parse()
 
@@ -183,6 +205,14 @@ func main() {
 		DialRetry:        retry.Policy{Attempts: 2, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5},
 	})
 	p.log = logger
+	p.slow = trace.NewSlowLog(*slowCap, *slowThr)
+	if *mutexPF > 0 {
+		runtime.SetMutexProfileFraction(*mutexPF)
+	}
+	if *rtEvery > 0 {
+		rc := obs.NewRuntimeCollector(p.reg)
+		defer rc.Start(*rtEvery)()
+	}
 	p.reqTimeout = *reqTO
 	p.readTimeout = *readTO
 	p.maxLineLen = *maxLine
@@ -247,6 +277,7 @@ func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardcl
 		log:        slog.Default(),
 		perf:       perf.NewSet(perfWindow, commands...),
 		recent:     trace.NewRing(64),
+		slow:       trace.NewSlowLog(32, 10*time.Millisecond),
 		meta:       perf.CollectMeta("histproxy"),
 		maxLineLen: 1 << 20,
 	}
@@ -367,24 +398,16 @@ func (p *proxy) serveMetrics(addr string) (net.Listener, error) {
 			p.log.Error("perf JSON render failed", "err", err)
 		}
 	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		writeEntriesJSON(w, p.log, map[string]any{
+			"threshold_ns": p.slow.Threshold().Nanoseconds(),
+			"capacity":     p.slow.Cap(),
+			"observed":     p.slow.Observed(),
+			"admitted":     p.slow.Admitted(),
+		}, p.slow.Entries())
+	})
 	mux.HandleFunc("/debug/trace/recent", func(w http.ResponseWriter, r *http.Request) {
-		type entryJSON struct {
-			Line       string          `json:"line"`
-			At         time.Time       `json:"at"`
-			DurationNS int64           `json:"duration_ns"`
-			Trace      *trace.SpanJSON `json:"trace"`
-		}
-		entries := p.recent.Entries()
-		out := make([]entryJSON, 0, len(entries))
-		for _, e := range entries {
-			out = append(out, entryJSON{Line: e.Line, At: e.At, DurationNS: int64(e.Duration), Trace: e.Span.JSON()})
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(map[string]any{"capacity": p.recent.Cap(), "entries": out}); err != nil {
-			p.log.Error("trace JSON render failed", "err", err)
-		}
+		writeEntriesJSON(w, p.log, map[string]any{"capacity": p.recent.Cap()}, p.recent.Entries())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -456,10 +479,15 @@ func (p *proxy) handle(conn net.Conn) {
 			continue
 		}
 		reqs++
-		resp, quit := p.safeDispatch(line)
+		tid, stripped := trace.CutRequestID(line)
+		resp, quit := p.safeDispatch(tid, stripped)
 		if strings.HasPrefix(resp, "ERR") {
 			errs++
-			log.Warn("request failed", "line", line, "resp", resp)
+			if tid != 0 {
+				log.Warn("request failed", "trace_id", tid.String(), "line", stripped, "resp", resp)
+			} else {
+				log.Warn("request failed", "line", stripped, "resp", resp)
+			}
 		}
 		fmt.Fprintln(w, resp)
 		p.setWriteDeadline(conn)
@@ -493,7 +521,7 @@ func (p *proxy) setWriteDeadline(conn net.Conn) {
 	}
 }
 
-func (p *proxy) safeDispatch(line string) (resp string, quit bool) {
+func (p *proxy) safeDispatch(tid trace.ID, line string) (resp string, quit bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Inc()
@@ -502,7 +530,7 @@ func (p *proxy) safeDispatch(line string) (resp string, quit bool) {
 			resp, quit = "ERR "+errInternal.Error(), false
 		}
 	}()
-	return p.dispatch(line)
+	return p.dispatch(tid, line)
 }
 
 func (p *proxy) finish(cmd, resp string, start time.Time) {
@@ -524,7 +552,9 @@ func (p *proxy) requestCtx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), p.reqTimeout)
 }
 
-func (p *proxy) dispatch(line string) (resp string, quit bool) {
+// dispatch answers one request line (already stripped of any TID=
+// token; tid is the adopted trace ID, zero when the client sent none).
+func (p *proxy) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
 	cmd := "other"
 	if len(fields) > 0 {
@@ -565,20 +595,37 @@ func (p *proxy) dispatch(line string) (resp string, quit bool) {
 		b.WriteString("END")
 		return b.String(), false
 	case "INS", "DEL":
-		return p.routeMutation(cmd, line, fields), false
+		return p.routeMutation(tid, cmd, line, fields), false
 	case "QRY":
-		return p.scatterQuery(line, fields[1:], false), false
+		return p.scatterQuery(tid, line, fields[1:], false), false
 	case "EXPLAIN":
 		if len(fields) < 2 || strings.ToUpper(fields[1]) != "QRY" {
 			return "ERR EXPLAIN wraps a query: EXPLAIN QRY <tlo> <thi> <lo...> <hi...>", false
 		}
-		return p.scatterQuery(line, fields[2:], true), false
+		return p.scatterQuery(tid, line, fields[2:], true), false
 	case "STATS":
 		if len(fields) != 1 {
 			return "ERR STATS takes no arguments", false
 		}
 		return p.mergedStats(), false
-	case "SLOWLOG", "SAVE", "CHECKPOINT", "SEAL":
+	case "SLOWLOG":
+		if len(fields) != 1 {
+			return "ERR SLOWLOG takes no arguments", false
+		}
+		entries := p.slow.Entries()
+		var b strings.Builder
+		fmt.Fprintf(&b, "OK n=%d cap=%d threshold=%s observed=%d admitted=%d\n",
+			len(entries), p.slow.Cap(), p.slow.Threshold(),
+			p.slow.Observed(), p.slow.Admitted())
+		for i, e := range entries {
+			fmt.Fprintf(&b, "#%d dur=%s at=%s cells_touched=%d conversions=%d trace_id=%s line=%q\n",
+				i+1, e.Duration, e.At.UTC().Format(time.RFC3339Nano),
+				e.Span.Total(trace.CellsTouched), e.Span.Total(trace.Conversions),
+				e.Span.TraceID(), e.Line)
+		}
+		b.WriteString("END")
+		return b.String(), false
+	case "SAVE", "CHECKPOINT", "SEAL":
 		return "ERR " + cmd + " is not proxied: connect to a shard directly (see SHARDS)", false
 	default:
 		return "ERR unknown command " + cmd, false
@@ -588,7 +635,7 @@ func (p *proxy) dispatch(line string) (resp string, quit bool) {
 // routeMutation forwards one INS/DEL to the shard owning its
 // timestamp. A write cannot be partial: a dead owner is an explicit
 // error, never a silent drop.
-func (p *proxy) routeMutation(cmd, line string, fields []string) string {
+func (p *proxy) routeMutation(tid trace.ID, cmd, line string, fields []string) string {
 	if len(fields) != 1+1+p.dims+1 {
 		return fmt.Sprintf("ERR %s needs time, %d coordinates and a value", cmd, p.dims)
 	}
@@ -607,10 +654,13 @@ func (p *proxy) routeMutation(cmd, line string, fields []string) string {
 	} else {
 		root = trace.New("proxy.delete")
 	}
+	root.SetTraceID(tid)
 	root.SetStr("shard", owner.Addr)
 	ctx, cancel := p.requestCtx()
 	defer cancel()
-	resp, err := p.clients[idx].Do(ctx, line, false)
+	// The owner shard's root span adopts the same trace ID via the TID=
+	// token, so the mutation is correlatable end to end.
+	resp, err := p.clients[idx].Do(ctx, trace.FormatRequestID(root.TraceID())+line, false)
 	root.End()
 	p.observe(line, root)
 	if err != nil {
@@ -619,13 +669,14 @@ func (p *proxy) routeMutation(cmd, line string, fields []string) string {
 	return resp
 }
 
-// legResult is one shard's reply to a fanned-out read.
+// legResult is one shard's reply to a fanned-out read. EXPLAIN legs
+// carry no payload beyond the value: the shard's span tree is grafted
+// directly under the leg's span as it arrives.
 type legResult struct {
 	leg    shard.Leg
 	value  float64
-	lines  []string // full EXPLAIN body (nil for plain QRY)
-	appErr string   // non-empty: the shard answered ERR (application error)
-	err    error    // transport/timeout/breaker failure
+	appErr string // non-empty: the shard answered ERR (application error)
+	err    error  // transport/timeout/breaker failure
 }
 
 // scatterQuery fans a read query out to every overlapped shard and
@@ -633,7 +684,7 @@ type legResult struct {
 // tree + summed totals). The query arguments are validated as
 // integers here so a malformed request fails once at the proxy instead
 // of N times at the shards.
-func (p *proxy) scatterQuery(line string, args []string, explain bool) string {
+func (p *proxy) scatterQuery(tid trace.ID, line string, args []string, explain bool) string {
 	if len(args) != 2+2*p.dims {
 		return fmt.Sprintf("ERR QRY needs tlo, thi and %d lo + %d hi coordinates", p.dims, p.dims)
 	}
@@ -649,6 +700,7 @@ func (p *proxy) scatterQuery(line string, args []string, explain bool) string {
 	legs := p.smap.Route(nums[0], nums[1])
 
 	root := trace.New("proxy.query")
+	root.SetTraceID(tid)
 	root.SetInt("legs", int64(len(legs)))
 	results := p.fanOut(root, legs, coords, explain)
 	root.End()
@@ -688,10 +740,12 @@ func (p *proxy) scatterQuery(line string, args []string, explain bool) string {
 			value, shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
 	}
 	root.Render(&b)
+	// Total over the merged tree: the only counters anywhere in it are
+	// the ones the grafted shard trees brought, so this sum is
+	// bit-identical to adding up the shards' own flat totals lines.
 	b.WriteString("totals")
-	totals := sumShardTotals(results)
 	for c := trace.Counter(0); c < trace.NumCounters; c++ {
-		fmt.Fprintf(&b, " %s=%d", c, totals[c.String()])
+		fmt.Fprintf(&b, " %s=%d", c, root.Total(c))
 	}
 	b.WriteString("\nEND")
 	return b.String()
@@ -704,6 +758,7 @@ func (p *proxy) scatterQuery(line string, args []string, explain bool) string {
 func (p *proxy) fanOut(root *trace.Span, legs []shard.Leg, coords string, explain bool) []legResult {
 	ctx, cancel := p.requestCtx()
 	defer cancel()
+	tidPrefix := trace.FormatRequestID(root.TraceID())
 	results := make([]legResult, len(legs))
 	spans := make([]*trace.Span, len(legs))
 	for i, leg := range legs {
@@ -720,10 +775,13 @@ func (p *proxy) fanOut(root *trace.Span, legs []shard.Leg, coords string, explai
 			defer wg.Done()
 			defer spans[i].End()
 			p.fanoutLegs.Inc()
-			results[i] = p.queryLeg(ctx, spans[i], leg, coords, explain)
+			results[i] = p.queryLeg(ctx, spans[i], tidPrefix, leg, coords, explain)
 			if results[i].err != nil {
 				p.legFailures.Inc()
-				spans[i].SetStr("err", results[i].err.Error())
+				// A failed leg grafts nothing: the surviving shard trees
+				// stay in the rendered answer, and the hole is marked on
+				// the leg's own span.
+				spans[i].SetStr("error", results[i].err.Error())
 			} else {
 				spans[i].SetFloat("value", results[i].value)
 			}
@@ -734,36 +792,41 @@ func (p *proxy) fanOut(root *trace.Span, legs []shard.Leg, coords string, explai
 }
 
 // queryLeg performs one shard round-trip for its clamped time range.
-func (p *proxy) queryLeg(ctx context.Context, sp *trace.Span, leg shard.Leg, coords string, explain bool) legResult {
+// tidPrefix is the request's "TID=<hex> " token, stamped on every
+// shard-bound line so the shard's spans join this trace. The EXPLAIN
+// variant asks for the structured reply (EXPLAIN JSON, one line) and
+// grafts the shard's decoded span tree under the leg's span.
+func (p *proxy) queryLeg(ctx context.Context, sp *trace.Span, tidPrefix string, leg shard.Leg, coords string, explain bool) legResult {
 	res := legResult{leg: leg}
 	client := p.clients[leg.Index]
 	qry := fmt.Sprintf("QRY %d %d %s", leg.TimeLo, leg.TimeHi, coords)
 	if explain {
-		lines, err := client.DoMulti(ctx, "EXPLAIN "+qry, true)
+		reply, err := client.Do(ctx, tidPrefix+"EXPLAIN JSON "+qry, true)
 		if err != nil {
 			res.err = err
 			return res
 		}
-		first := lines[0]
-		if strings.HasPrefix(first, "ERR") {
-			return classifyShardErr(res, first)
+		if strings.HasPrefix(reply, "ERR") {
+			return classifyShardErr(res, reply)
 		}
-		val, ok := strings.CutPrefix(first, "OK result=")
+		body, ok := strings.CutPrefix(reply, "OK ")
 		if !ok {
-			res.err = fmt.Errorf("shard %s: unexpected EXPLAIN reply %q", leg.Addr, first)
+			res.err = fmt.Errorf("shard %s: unexpected EXPLAIN reply %q", leg.Addr, reply)
 			return res
 		}
-		v, err := strconv.ParseFloat(val, 64)
-		if err != nil {
-			res.err = fmt.Errorf("shard %s: bad EXPLAIN result %q", leg.Addr, val)
+		var doc struct {
+			Result float64         `json:"result"`
+			Trace  *trace.SpanJSON `json:"trace"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			res.err = fmt.Errorf("shard %s: bad EXPLAIN JSON reply: %w", leg.Addr, err)
 			return res
 		}
-		res.value = v
-		res.lines = lines
-		addShardTotals(sp, lines)
+		res.value = doc.Result
+		sp.Graft(doc.Trace.Span())
 		return res
 	}
-	reply, err := client.Do(ctx, qry, true)
+	reply, err := client.Do(ctx, tidPrefix+qry, true)
 	if err != nil {
 		res.err = err
 		return res
@@ -791,59 +854,6 @@ func classifyShardErr(res legResult, reply string) legResult {
 		res.appErr = reply
 	}
 	return res
-}
-
-// addShardTotals copies a shard's EXPLAIN cost totals onto the leg's
-// span, so the proxy's own EXPLAIN tree carries the paper-unit costs
-// exactly where they were incurred (and root.Total sums them).
-func addShardTotals(sp *trace.Span, lines []string) {
-	totals := parseTotals(lines)
-	if totals == nil {
-		return
-	}
-	for c := trace.Counter(0); c < trace.NumCounters; c++ {
-		if v, ok := totals[c.String()]; ok && v != 0 {
-			sp.Add(c, v)
-		}
-	}
-}
-
-// parseTotals finds a shard EXPLAIN's "totals k=v ..." line.
-func parseTotals(lines []string) map[string]int64 {
-	for i := len(lines) - 1; i >= 0; i-- {
-		rest, ok := strings.CutPrefix(lines[i], "totals ")
-		if !ok {
-			continue
-		}
-		out := make(map[string]int64)
-		for _, tok := range strings.Fields(rest) {
-			k, v, ok := strings.Cut(tok, "=")
-			if !ok {
-				continue
-			}
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				continue
-			}
-			out[k] = n
-		}
-		return out
-	}
-	return nil
-}
-
-// sumShardTotals merges every successful leg's totals, in map order.
-func sumShardTotals(results []legResult) map[string]int64 {
-	out := make(map[string]int64)
-	for _, r := range results {
-		if r.err != nil || r.lines == nil {
-			continue
-		}
-		for k, v := range parseTotals(r.lines) {
-			out[k] += v
-		}
-	}
-	return out
 }
 
 // statsMaxKeys are STATS fields where summing across shards is wrong:
@@ -938,7 +948,28 @@ func (p *proxy) shardIndex(addr string) int {
 	return len(p.clients) - 1 // unreachable with a valid map; fall back to hot
 }
 
-// observe retains one finished request trace in the recent ring.
+// observe retains one finished request trace in the recent ring and,
+// for fan-out queries at or above the threshold, the slow-query log.
 func (p *proxy) observe(line string, root *trace.Span) {
-	p.recent.Add(line, time.Now(), root.Duration(), root)
+	at := time.Now()
+	d := root.Duration()
+	p.recent.Add(line, at, d, root)
+	if root.Name() == "proxy.query" {
+		if p.slow.Observe(line, at, d, root) {
+			p.log.Warn("slow query", "trace_id", root.TraceID().String(), "dur", d, "line", line)
+		}
+	}
+}
+
+// writeEntriesJSON renders a trace feed (slowlog or recent ring) as
+// JSON — the same shape histserve serves, so fleet-wide trace_id
+// correlation works with one jq expression on either side.
+func writeEntriesJSON(w http.ResponseWriter, log *slog.Logger, meta map[string]any, entries []trace.Entry) {
+	meta["entries"] = trace.EntriesJSON(entries)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		log.Error("trace JSON render failed", "err", err)
+	}
 }

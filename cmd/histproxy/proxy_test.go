@@ -12,18 +12,24 @@ import (
 	"testing"
 	"time"
 
+	"encoding/json"
+
 	"histcube/internal/shard"
 	"histcube/internal/shardclient"
+	"histcube/internal/trace"
 )
 
 // fakeShard is an in-process histserve stand-in: it keeps raw facts
 // and answers QRY by brute-force summation, which makes the expected
-// scatter-gather totals exact without booting real cubes.
+// scatter-gather totals exact without booting real cubes. It records
+// every received request line verbatim (TID= token included) so tests
+// can assert what the proxy stamped on the wire.
 type fakeShard struct {
 	ln net.Listener
 
 	mu      sync.Mutex
 	facts   []fact
+	lines   []string
 	sealed  int64
 	hasSeal bool
 	conns   map[net.Conn]struct{}
@@ -90,15 +96,27 @@ func (f *fakeShard) serve(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+		line := strings.TrimSpace(sc.Text())
+		tid, stripped := trace.CutRequestID(line)
+		f.mu.Lock()
+		f.lines = append(f.lines, line)
+		f.mu.Unlock()
+		fields := strings.Fields(stripped)
 		if len(fields) == 0 {
 			continue
 		}
-		fmt.Fprint(conn, f.reply(fields))
+		fmt.Fprint(conn, f.reply(tid, fields))
 	}
 }
 
-func (f *fakeShard) reply(fields []string) string {
+// received returns every raw request line the shard has seen.
+func (f *fakeShard) received() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.lines...)
+}
+
+func (f *fakeShard) reply(tid trace.ID, fields []string) string {
 	switch strings.ToUpper(fields[0]) {
 	case "VERSION":
 		return "OK histserve rev=faketest dirty=false go=go0.0\n"
@@ -131,6 +149,24 @@ func (f *fakeShard) reply(fields []string) string {
 	case "QRY":
 		return strconv.FormatFloat(f.query(fields[1:]), 'g', -1, 64) + "\n"
 	case "EXPLAIN":
+		// The proxy always asks for the structured variant: EXPLAIN JSON
+		// QRY .... Answer a real span tree (7 cells, 2 conversions per
+		// shard) carrying the adopted trace ID, like histserve would.
+		if len(fields) >= 3 && strings.ToUpper(fields[1]) == "JSON" {
+			v := f.query(fields[3:])
+			root := trace.New("histserve.query")
+			root.SetTraceID(tid)
+			child := root.StartChild("histcube.query")
+			child.Add(trace.CellsTouched, 7)
+			child.Add(trace.Conversions, 2)
+			child.End()
+			root.End()
+			doc, err := json.Marshal(map[string]any{"result": v, "trace": root.JSON()})
+			if err != nil {
+				return "ERR fake shard: " + err.Error() + "\n"
+			}
+			return "OK " + string(doc) + "\n"
+		}
 		v := f.query(fields[2:])
 		return fmt.Sprintf("OK result=%s\nhistserve.query dur=1us\ntotals cells_touched=7 conversions=2\nEND\n",
 			strconv.FormatFloat(v, 'g', -1, 64))
@@ -180,6 +216,9 @@ func startProxy(t *testing.T, spec string) (addr string, p *proxy) {
 		BreakerCooldown:  50 * time.Millisecond,
 	})
 	p.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	// Threshold 0 admits every fan-out query, so SLOWLOG assertions do
+	// not depend on test-machine timing.
+	p.slow = trace.NewSlowLog(32, 0)
 	p.reqTimeout = 5 * time.Second
 	p.ready.Store(true)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -370,6 +409,13 @@ func TestProxyExplain(t *testing.T) {
 	if got := strings.Count(body, "proxy.leg"); got != 3 {
 		t.Fatalf("EXPLAIN has %d proxy.leg spans, want 3:\n%s", got, body)
 	}
+	// Every leg carries its shard's grafted span tree.
+	if got := strings.Count(body, "histserve.query"); got != 3 {
+		t.Fatalf("EXPLAIN has %d grafted shard trees, want 3:\n%s", got, body)
+	}
+	if got := strings.Count(body, "histcube.query"); got != 3 {
+		t.Fatalf("EXPLAIN has %d grafted shard children, want 3:\n%s", got, body)
+	}
 	// Each fake leg reports cells_touched=7 conversions=2; three legs.
 	last := lines[len(lines)-1]
 	if !strings.HasPrefix(last, "totals ") ||
@@ -387,6 +433,174 @@ func TestProxyExplainPartial(t *testing.T) {
 	lines := c.multi(t, "EXPLAIN QRY 0 300 0 0 7 7")
 	if !strings.HasPrefix(lines[0], "PARTIAL result=5 covered=0-199 missing=") {
 		t.Fatalf("EXPLAIN over dead shard first line = %q", lines[0])
+	}
+}
+
+// TestProxyExplainMergedTreeTotals pins the grafting invariant: the
+// proxy's totals line is Total over the merged tree, which must equal
+// the sum of the grafted shard subtrees' totals bit-exactly — and those
+// are the only counters anywhere in the tree.
+func TestProxyExplainMergedTreeTotals(t *testing.T) {
+	spec, _ := threeShards(t)
+	addr, p := startProxy(t, spec)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	c.cmd(t, "INS 250 1 1 7")
+
+	line := "EXPLAIN QRY 0 300 0 0 7 7"
+	lines := c.multi(t, line)
+	last := lines[len(lines)-1]
+	rest, ok := strings.CutPrefix(last, "totals ")
+	if !ok {
+		t.Fatalf("EXPLAIN last line = %q, want totals", last)
+	}
+	rendered := make(map[string]int64)
+	for _, tok := range strings.Fields(rest) {
+		k, v, _ := strings.Cut(tok, "=")
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("totals token %q: %v", tok, err)
+		}
+		rendered[k] = n
+	}
+
+	// The retained trace is the merged tree itself.
+	var root *trace.Span
+	for _, e := range p.recent.Entries() {
+		if e.Line == line {
+			root = e.Span
+			break
+		}
+	}
+	if root == nil || root.Name() != "proxy.query" {
+		t.Fatalf("merged tree not retained in the recent ring")
+	}
+	grafted := make(map[trace.Counter]int64)
+	legs := 0
+	for _, leg := range root.Children() {
+		if leg.Name() != "proxy.leg" {
+			continue
+		}
+		legs++
+		if len(leg.Children()) == 0 {
+			t.Fatalf("proxy.leg span has no grafted shard tree")
+		}
+		for _, sub := range leg.Children() {
+			for cn := trace.Counter(0); cn < trace.NumCounters; cn++ {
+				grafted[cn] += sub.Total(cn)
+			}
+		}
+	}
+	if legs != 3 {
+		t.Fatalf("merged tree has %d proxy.leg spans, want 3", legs)
+	}
+	for cn := trace.Counter(0); cn < trace.NumCounters; cn++ {
+		if got := root.Total(cn); got != grafted[cn] {
+			t.Errorf("counter %s: merged total %d != grafted sum %d", cn, got, grafted[cn])
+		}
+		if got := rendered[cn.String()]; got != grafted[cn] {
+			t.Errorf("counter %s: rendered total %d != grafted sum %d", cn, got, grafted[cn])
+		}
+	}
+}
+
+// TestProxyExplainDeadShardKeepsSurvivors: a dead leg grafts nothing
+// and is marked with an error attr, while the surviving shards' trees
+// stay in the merged answer.
+func TestProxyExplainDeadShardKeepsSurvivors(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, _ := startProxy(t, spec)
+	c := dial(t, addr)
+	c.cmd(t, "INS 10 1 1 5")
+	c.cmd(t, "INS 150 1 1 7")
+	shards[2].stop()
+
+	lines := c.multi(t, "EXPLAIN QRY 0 300 0 0 7 7")
+	if !strings.HasPrefix(lines[0], "PARTIAL result=12 ") {
+		t.Fatalf("EXPLAIN over dead shard first line = %q", lines[0])
+	}
+	body := strings.Join(lines, "\n")
+	if got := strings.Count(body, "histserve.query"); got != 2 {
+		t.Fatalf("want the 2 surviving grafted trees, got %d:\n%s", got, body)
+	}
+	if !strings.Contains(body, "error=") {
+		t.Fatalf("dead leg's span carries no error attr:\n%s", body)
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "cells_touched=14") || !strings.Contains(last, "conversions=4") {
+		t.Fatalf("totals over survivors = %q, want 2 shards' worth", last)
+	}
+}
+
+// TestProxyTraceIDPropagation: a client-supplied TID= token is adopted
+// by the proxy root, stamped on every shard-bound line, and shows up in
+// the proxy's SLOWLOG and recent-trace feed.
+func TestProxyTraceIDPropagation(t *testing.T) {
+	spec, shards := threeShards(t)
+	addr, p := startProxy(t, spec)
+	c := dial(t, addr)
+	id := trace.NewID()
+	tok := trace.FormatRequestID(id)
+
+	if got := c.cmd(t, tok+"INS 10 1 1 5"); got != "OK" {
+		t.Fatalf("INS with TID -> %q", got)
+	}
+	if got := c.cmd(t, tok+"QRY 0 300 0 0 7 7"); got != "5" {
+		t.Fatalf("QRY with TID -> %q", got)
+	}
+
+	// The owner shard saw the routed mutation with the same token.
+	var sawIns bool
+	for _, ln := range shards[0].received() {
+		if ln == tok+"INS 10 1 1 5" {
+			sawIns = true
+		}
+	}
+	if !sawIns {
+		t.Fatalf("owner shard never received the TID-stamped mutation: %q", shards[0].received())
+	}
+	// Every shard's fan-out leg carried the token.
+	for i, f := range shards {
+		var sawQry bool
+		for _, ln := range f.received() {
+			if strings.HasPrefix(ln, tok+"QRY ") {
+				sawQry = true
+			}
+		}
+		if !sawQry {
+			t.Errorf("shard %d never received a TID-stamped QRY leg: %q", i, f.received())
+		}
+	}
+
+	// Proxy-side observability: SLOWLOG (threshold 0 in startProxy) and
+	// the recent ring both carry the same trace_id.
+	slowlog := strings.Join(c.multi(t, "SLOWLOG"), "\n")
+	if !strings.Contains(slowlog, "trace_id="+id.String()) {
+		t.Fatalf("proxy SLOWLOG missing trace_id=%s:\n%s", id, slowlog)
+	}
+	var found bool
+	for _, e := range p.recent.Entries() {
+		if e.Span.TraceID() == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recent ring has no entry with trace_id=%s", id)
+	}
+
+	// Without a token the proxy generates its own ID and still stamps
+	// the legs.
+	if got := c.cmd(t, "QRY 0 300 0 0 7 7"); got != "5" {
+		t.Fatalf("QRY -> %q", got)
+	}
+	var stamped bool
+	for _, ln := range shards[0].received() {
+		if strings.HasPrefix(ln, "TID=") && !strings.HasPrefix(ln, tok) && strings.Contains(ln, "QRY ") {
+			stamped = true
+		}
+	}
+	if !stamped {
+		t.Fatalf("proxy-generated trace ID not stamped on shard legs: %q", shards[0].received())
 	}
 }
 

@@ -34,7 +34,7 @@ func enableChaosWAL(t *testing.T, srv *server, dir string) {
 // SUM (every chaos INS has value 1, so SUM counts applied records).
 func chaosQuery(t *testing.T, srv *server) float64 {
 	t.Helper()
-	resp, _ := srv.safeDispatch("QRY 0 1000000 0 0 7 7")
+	resp, _ := srv.safeDispatch(0, "QRY 0 1000000 0 0 7 7")
 	v, err := strconv.ParseFloat(resp, 64)
 	if err != nil {
 		t.Fatalf("chaos query -> %q", resp)
@@ -77,7 +77,7 @@ func TestChaosReadOnlyDegradationAndRecovery(t *testing.T) {
 	acked := 0
 	var firstErr string
 	for i := 0; i < 100; i++ {
-		resp, _ := srv.safeDispatch(fmt.Sprintf("INS %d %d %d 1", i, i%8, (i/3)%8))
+		resp, _ := srv.safeDispatch(0, fmt.Sprintf("INS %d %d %d 1", i, i%8, (i/3)%8))
 		if resp != "OK" {
 			firstErr = resp
 			break
@@ -95,7 +95,7 @@ func TestChaosReadOnlyDegradationAndRecovery(t *testing.T) {
 	}
 
 	// Mutations are now rejected fast, with the read-only prefix.
-	resp, _ := srv.safeDispatch("INS 1000 0 0 1")
+	resp, _ := srv.safeDispatch(0, "INS 1000 0 0 1")
 	if !strings.HasPrefix(resp, "ERR read-only:") {
 		t.Fatalf("degraded INS -> %q, want ERR read-only", resp)
 	}
@@ -103,7 +103,7 @@ func TestChaosReadOnlyDegradationAndRecovery(t *testing.T) {
 	if got := chaosQuery(t, srv); got != float64(acked) {
 		t.Fatalf("degraded QRY = %v, want %d", got, acked)
 	}
-	stats, _ := srv.safeDispatch("STATS")
+	stats, _ := srv.safeDispatch(0, "STATS")
 	if !strings.Contains(stats, "degraded=1") {
 		t.Fatalf("STATS while degraded: %q", stats)
 	}
@@ -120,7 +120,7 @@ func TestChaosReadOnlyDegradationAndRecovery(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	recovered := false
 	for time.Now().Before(deadline) {
-		resp, _ := srv.safeDispatch("INS 2000 0 0 1")
+		resp, _ := srv.safeDispatch(0, "INS 2000 0 0 1")
 		if resp == "OK" {
 			recovered = true
 			break
@@ -133,7 +133,7 @@ func TestChaosReadOnlyDegradationAndRecovery(t *testing.T) {
 	if srv.degraded.Load() {
 		t.Fatal("degraded flag still set after a successful probe")
 	}
-	stats, _ = srv.safeDispatch("STATS")
+	stats, _ = srv.safeDispatch(0, "STATS")
 	if !strings.Contains(stats, "degraded=0") {
 		t.Fatalf("STATS after recovery: %q", stats)
 	}
@@ -169,7 +169,7 @@ func TestChaosSeededWorkloadNoAckLoss(t *testing.T) {
 			acked, sent := 0, 0
 			for i := 0; i < workload; i++ {
 				sent++
-				resp, _ := srv.safeDispatch(fmt.Sprintf("INS %d %d %d 1", i/5, i%8, (i/3)%8))
+				resp, _ := srv.safeDispatch(0, fmt.Sprintf("INS %d %d %d 1", i/5, i%8, (i/3)%8))
 				if resp == "OK" {
 					acked++
 				} else if !strings.HasPrefix(resp, "ERR") {

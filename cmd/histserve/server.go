@@ -14,6 +14,9 @@
 //	QRY <tlo> <thi> <l1> ... <ld> <u1> ... <ud> -> <number> | ERR <msg>
 //	EXPLAIN QRY <args>                 -> OK result=<number>, span tree,
 //	                                      totals line, END | ERR <msg>
+//	EXPLAIN JSON QRY <args>            -> OK {"result":...,"trace":{...}}
+//	                                      (single line; the structured
+//	                                      span tree histproxy grafts)
 //	SLOWLOG                            -> OK n=<n> ..., one line per
 //	                                      retained trace, END
 //	VERSION                            -> OK histserve rev=<git-rev> go=<ver>
@@ -34,6 +37,11 @@
 // tree with the paper's per-query cost counters, SLOWLOG returns the
 // worst traces at or above -slow-query-threshold (bounded by
 // -slowlog-size), and the metrics listener serves them as JSON.
+// Distributed tracing: any request line may carry a leading
+// "TID=<16 hex>" token (histproxy stamps one on every shard leg); the
+// request's root span adopts that trace ID, so one identifier
+// correlates the query across proxy and shard slog lines, SLOWLOG
+// entries and both /debug/trace/recent feeds.
 //
 // Start with -load <path> to resume from a snapshot written by SAVE
 // (the -dims and -op flags must match the snapshot's configuration).
@@ -262,8 +270,9 @@ func main() {
 		fspec   = flag.String("fault-spec", "", "fault-injection spec for chaos testing (see internal/fault); empty disables")
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
 		perfWin = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests (STATS, /debug/perf, histserve_cmd_latency_* metrics)")
-		mutexPF = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 samples every contention event, 0 disables); populates /debug/pprof/mutex")
+		mutexPF = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 samples every contention event, 0 disables); populates /debug/pprof/mutex and scales histcube_lock_contention_events_total")
 		blockPR = flag.Int("block-profile-rate", 0, "runtime block profile sampling rate in ns (1 records every blocking event, 0 disables); populates /debug/pprof/block")
+		rtEvery = flag.Duration("runtime-metrics-every", 10*time.Second, "sampling interval for histcube_runtime_* gauges (GC pause, goroutines, scheduler latency); 0 disables the sampler")
 	)
 	flag.Parse()
 
@@ -285,6 +294,10 @@ func main() {
 	}
 	srv.log = logger
 	srv.slow = trace.NewSlowLog(*slowCap, *slowThr)
+	if *rtEvery > 0 {
+		rc := obs.NewRuntimeCollector(srv.reg)
+		defer rc.Start(*rtEvery)()
+	}
 	srv.reqTimeout = *reqTO
 	srv.readTimeout = *readTO
 	srv.maxLineLen = *maxLine
@@ -680,10 +693,19 @@ func (s *server) handle(conn net.Conn) {
 			continue
 		}
 		reqs++
-		resp, quit := s.safeDispatch(line)
+		// An optional leading TID= token carries a propagated trace
+		// identifier (histproxy stamps one on every shard leg); the
+		// request's root span adopts it so one trace_id correlates the
+		// query across the fleet's logs and /debug feeds.
+		tid, stripped := trace.CutRequestID(line)
+		resp, quit := s.safeDispatch(tid, stripped)
 		if strings.HasPrefix(resp, "ERR") {
 			errs++
-			log.Warn("request failed", "line", line, "resp", resp)
+			if tid != 0 {
+				log.Warn("request failed", "trace_id", tid.String(), "line", stripped, "resp", resp)
+			} else {
+				log.Warn("request failed", "line", stripped, "resp", resp)
+			}
 		}
 		fmt.Fprintln(w, resp)
 		s.setWriteDeadline(conn)
@@ -730,7 +752,7 @@ func (s *server) setWriteDeadline(conn net.Conn) {
 // the connection keeps serving. Panics under mu are converted even
 // earlier, inside mutate/queryLocked, so the deferred unlock runs and
 // the mutex is never poisoned.
-func (s *server) safeDispatch(line string) (resp string, quit bool) {
+func (s *server) safeDispatch(tid trace.ID, line string) (resp string, quit bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Inc()
@@ -739,7 +761,7 @@ func (s *server) safeDispatch(line string) (resp string, quit bool) {
 			resp, quit = errResponse(fmt.Errorf("%w (%v)", errInternal, r)), false
 		}
 	}()
-	return s.dispatch(line)
+	return s.dispatch(tid, line)
 }
 
 // finish accounts one dispatched request under the command's label:
@@ -757,7 +779,11 @@ func (s *server) finish(cmd, resp string, start time.Time) {
 	s.perf.Record(key, time.Since(start))
 }
 
-func (s *server) dispatch(line string) (resp string, quit bool) {
+// dispatch answers one request line. tid is the trace identifier
+// propagated by the request's TID= token (zero when absent): traced
+// commands adopt it for their root span, so the ID a proxy generated
+// at the edge survives into this shard's spans, slow log and feeds.
+func (s *server) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
 	cmd := "other"
 	if len(fields) > 0 {
@@ -893,6 +919,7 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		} else {
 			root = trace.New("histserve.delete")
 		}
+		root.SetTraceID(tid)
 		err = s.mutate(cmd, root, nums[0], coords, val)
 		root.End()
 		s.observe(line, root)
@@ -905,22 +932,38 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 		if errResp != "" {
 			return errResp, false
 		}
-		v, _, err := s.runQuery(line, rng)
+		v, _, err := s.runQuery(tid, line, rng)
 		if err != nil {
 			return errResponse(err), false
 		}
 		return strconv.FormatFloat(v, 'g', -1, 64), false
 	case "EXPLAIN":
-		if len(fields) < 2 || strings.ToUpper(fields[1]) != "QRY" {
-			return "ERR EXPLAIN wraps a query: EXPLAIN QRY <tlo> <thi> <lo...> <hi...>", false
+		// EXPLAIN [JSON] QRY ... — the JSON variant answers on a single
+		// line with the full structured span tree, which is what
+		// histproxy consumes to graft this shard's spans under its own
+		// proxy.leg (the text variant stays the human/debug format).
+		args := fields[1:]
+		jsonMode := len(args) > 0 && strings.ToUpper(args[0]) == "JSON"
+		if jsonMode {
+			args = args[1:]
 		}
-		rng, errResp := s.parseQueryRange(fields[2:])
+		if len(args) < 1 || strings.ToUpper(args[0]) != "QRY" {
+			return "ERR EXPLAIN wraps a query: EXPLAIN [JSON] QRY <tlo> <thi> <lo...> <hi...>", false
+		}
+		rng, errResp := s.parseQueryRange(args[1:])
 		if errResp != "" {
 			return errResp, false
 		}
-		v, root, err := s.runQuery(line, rng)
+		v, root, err := s.runQuery(tid, line, rng)
 		if err != nil {
 			return errResponse(err), false
+		}
+		if jsonMode {
+			doc, err := json.Marshal(explainJSON{Result: v, Trace: root.JSON()})
+			if err != nil {
+				return "ERR rendering trace: " + err.Error(), false
+			}
+			return "OK " + string(doc), false
 		}
 		var b strings.Builder
 		fmt.Fprintf(&b, "OK result=%s\n", strconv.FormatFloat(v, 'g', -1, 64))
@@ -941,9 +984,10 @@ func (s *server) dispatch(line string) (resp string, quit bool) {
 			len(entries), s.slow.Cap(), s.slow.Threshold(),
 			s.slow.Observed(), s.slow.Admitted())
 		for i, e := range entries {
-			fmt.Fprintf(&b, "#%d dur=%s at=%s cells_touched=%d conversions=%d line=%q\n",
+			fmt.Fprintf(&b, "#%d dur=%s at=%s cells_touched=%d conversions=%d trace_id=%s line=%q\n",
 				i+1, e.Duration, e.At.UTC().Format(time.RFC3339Nano),
-				e.Span.Total(trace.CellsTouched), e.Span.Total(trace.Conversions), e.Line)
+				e.Span.Total(trace.CellsTouched), e.Span.Total(trace.Conversions),
+				e.Span.TraceID(), e.Line)
 		}
 		b.WriteString("END")
 		return b.String(), false
@@ -996,9 +1040,11 @@ func (s *server) badCoord(coords []int) string {
 }
 
 // runQuery executes one traced range query (shared by QRY and
-// EXPLAIN) and retains the finished trace.
-func (s *server) runQuery(line string, rng core.Range) (float64, *trace.Span, error) {
+// EXPLAIN) and retains the finished trace. A non-zero tid (the TID=
+// token) becomes the root span's trace ID.
+func (s *server) runQuery(tid trace.ID, line string, rng core.Range) (float64, *trace.Span, error) {
 	root := trace.New("histserve.query")
+	root.SetTraceID(tid)
 	v, err := s.queryLocked(root, rng)
 	root.End()
 	s.observe(line, root)
@@ -1166,12 +1212,17 @@ func (s *server) probeDue() bool {
 
 // observe retains one finished request trace: every request enters
 // the recent ring; queries are additionally offered to the slow log.
+// A query the slow log admits is also logged with its trace_id — the
+// slog side of fleet-wide correlation (the proxy logs the same ID for
+// the same request).
 func (s *server) observe(line string, root *trace.Span) {
 	at := time.Now()
 	d := root.Duration()
 	s.recent.Add(line, at, d, root)
 	if root.Name() == "histserve.query" {
-		s.slow.Observe(line, at, d, root)
+		if s.slow.Observe(line, at, d, root) {
+			s.log.Warn("slow query", "trace_id", root.TraceID().String(), "dur", d, "line", line)
+		}
 	}
 }
 
@@ -1197,21 +1248,19 @@ func (s *server) sealThrough(t int64) int64 {
 // win_* fields.
 func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
+// explainJSON is the single-line reply body of EXPLAIN JSON QRY — the
+// structured variant histproxy consumes to graft shard span trees.
+type explainJSON struct {
+	Result float64         `json:"result"`
+	Trace  *trace.SpanJSON `json:"trace"`
+}
+
 // writeEntriesJSON renders retained traces as a JSON document: the
-// meta fields plus an "entries" array of {line, at, duration_ns,
-// trace} objects.
+// meta fields plus an "entries" array of {line, trace_id, at,
+// duration_ns, trace} objects (trace.EntryJSON, shared with
+// histproxy).
 func writeEntriesJSON(w http.ResponseWriter, log *slog.Logger, meta map[string]any, entries []trace.Entry) {
-	type entryJSON struct {
-		Line       string          `json:"line"`
-		At         time.Time       `json:"at"`
-		DurationNS int64           `json:"duration_ns"`
-		Trace      *trace.SpanJSON `json:"trace"`
-	}
-	out := make([]entryJSON, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, entryJSON{Line: e.Line, At: e.At, DurationNS: int64(e.Duration), Trace: e.Span.JSON()})
-	}
-	meta["entries"] = out
+	meta["entries"] = trace.EntriesJSON(entries)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -139,7 +139,7 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	// The empty-command branch is unreachable over the wire (handle
 	// skips blank lines), so hit dispatch directly.
-	if got, _ := srv.dispatch("   "); !strings.HasPrefix(got, "ERR") {
+	if got, _ := srv.dispatch(0, "   "); !strings.HasPrefix(got, "ERR") {
 		t.Errorf("blank dispatch -> %q, want ERR", got)
 	}
 	// Every ERR above must be visible in the error counters.
@@ -196,11 +196,11 @@ func TestSaveAndResume(t *testing.T) {
 	if err := srv2.loadSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
-	resp, _ := srv2.dispatch("QRY 0 5 0 0 7 7")
+	resp, _ := srv2.dispatch(0, "QRY 0 5 0 0 7 7")
 	if resp != "15" {
 		t.Fatalf("resumed QRY -> %q, want 15", resp)
 	}
-	resp, _ = srv2.dispatch("INS 3 2 3 1")
+	resp, _ = srv2.dispatch(0, "INS 3 2 3 1")
 	if resp != "OK" {
 		t.Fatalf("resumed INS -> %q", resp)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -144,7 +145,7 @@ func TestSlowLogCommand(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("SLOWLOG returned %d entry lines, want 2:\n%s", len(lines)-1, strings.Join(lines, "\n"))
 	}
-	entryRE := regexp.MustCompile(`^#\d+ dur=\S+ at=\S+ cells_touched=\d+ conversions=\d+ line="QRY 1 1 0 0 7 7"$`)
+	entryRE := regexp.MustCompile(`^#\d+ dur=\S+ at=\S+ cells_touched=\d+ conversions=\d+ trace_id=[0-9a-f]{16} line="QRY 1 1 0 0 7 7"$`)
 	var durs []time.Duration
 	for _, e := range lines[1:] {
 		if !entryRE.MatchString(e) {
@@ -172,6 +173,141 @@ func TestSlowLogCommand(t *testing.T) {
 	}
 	if got := len(srv.recent.Entries()); got != 7 {
 		t.Errorf("recent ring holds %d traces, want 7 (2 INS + 5 QRY)", got)
+	}
+}
+
+// syncBuf is a goroutine-safe log sink for asserting on slog output.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTraceIDPropagationAndExplainJSON drives the distributed-tracing
+// contract end to end on the shard side: a TID= token is adopted as
+// the root span's trace ID and becomes observable in the EXPLAIN JSON
+// reply, the SLOWLOG wire format, the /debug JSON feeds and the slog
+// stream — the correlation path histproxy relies on.
+func TestTraceIDPropagationAndExplainJSON(t *testing.T) {
+	srv := newQuietServer(t, "8,8", "sum", false)
+	srv.slow = trace.NewSlowLog(8, 0)
+	var logs syncBuf
+	srv.log = slog.New(slog.NewTextHandler(&logs, nil))
+	addr := serveOn(t, srv)
+	mln, err := srv.serveMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mln.Close() })
+
+	c := dial(t, addr)
+	c.cmd(t, "INS 1 1 1 2")
+	c.cmd(t, "INS 2 2 2 3")
+	id := trace.NewID()
+
+	// A plain QRY carrying a TID= token answers exactly as without it.
+	if got := c.cmd(t, trace.FormatRequestID(id)+"QRY 1 1 0 0 7 7"); got != "2" {
+		t.Fatalf("QRY with TID -> %q, want 2", got)
+	}
+
+	// EXPLAIN JSON answers a one-line structured document whose root
+	// carries the propagated trace ID.
+	resp := c.cmd(t, trace.FormatRequestID(id)+"EXPLAIN JSON QRY 1 1 0 0 7 7")
+	body, ok := strings.CutPrefix(resp, "OK ")
+	if !ok {
+		t.Fatalf("EXPLAIN JSON -> %q", resp)
+	}
+	var doc struct {
+		Result float64         `json:"result"`
+		Trace  *trace.SpanJSON `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("EXPLAIN JSON body is not JSON: %v\n%s", err, body)
+	}
+	if doc.Result != 2 {
+		t.Errorf("EXPLAIN JSON result = %v, want 2", doc.Result)
+	}
+	if doc.Trace == nil || doc.Trace.Name != "histserve.query" {
+		t.Fatalf("EXPLAIN JSON trace malformed: %+v", doc.Trace)
+	}
+	if doc.Trace.TraceID != id.String() {
+		t.Errorf("EXPLAIN JSON trace_id = %q, want adopted %q", doc.Trace.TraceID, id)
+	}
+	if len(doc.Trace.Children) == 0 || doc.Trace.Children[0].Name != "histcube.query" {
+		t.Errorf("EXPLAIN JSON lost the span tree: %+v", doc.Trace)
+	}
+	if doc.Trace.Children[0].TraceID != id.String() {
+		t.Errorf("child trace_id = %q, want inherited %q", doc.Trace.Children[0].TraceID, id)
+	}
+
+	// The JSON variant keeps EXPLAIN's ERR discipline.
+	for _, bad := range []string{"EXPLAIN JSON", "EXPLAIN JSON STATS", "EXPLAIN JSON QRY 1"} {
+		if got := c.cmd(t, bad); !strings.HasPrefix(got, "ERR") {
+			t.Errorf("%q -> %q, want ERR", bad, got)
+		}
+	}
+
+	// SLOWLOG's wire format names the trace.
+	lines := c.cmdMulti(t, "SLOWLOG")
+	if !strings.Contains(strings.Join(lines, "\n"), "trace_id="+id.String()) {
+		t.Errorf("SLOWLOG lost trace_id %s:\n%s", id, strings.Join(lines, "\n"))
+	}
+
+	// Both JSON feeds carry a top-level trace_id per entry.
+	for _, path := range []string{"/debug/slowlog", "/debug/trace/recent"} {
+		resp, err := http.Get("http://" + mln.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var feed struct {
+			Entries []trace.EntryJSON `json:"entries"`
+		}
+		if err := json.Unmarshal(body, &feed); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		found := false
+		for _, e := range feed.Entries {
+			if e.TraceID == id.String() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s has no entry with trace_id %s:\n%s", path, id, body)
+		}
+	}
+
+	// The slog stream carries the same ID: the threshold-0 slow log
+	// admits the query and logs it, and a failing request with a TID=
+	// token logs the ID too.
+	if got := c.cmd(t, trace.FormatRequestID(id)+"QRY bogus"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad QRY -> %q, want ERR", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(logs.String(), "trace_id="+id.String()) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond) // the handle goroutine logs asynchronously
+	}
+	out := logs.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "trace_id="+id.String()) {
+		t.Errorf("slog stream lost the trace ID:\n%s", out)
+	}
+	if !strings.Contains(out, "request failed") {
+		t.Errorf("failed request with TID not logged:\n%s", out)
 	}
 }
 

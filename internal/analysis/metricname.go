@@ -36,11 +36,12 @@ var (
 )
 
 var metricRegisterMethods = map[string]bool{
-	"NewCounter":     true,
-	"NewGauge":       true,
-	"NewHistogram":   true,
-	"NewCounterFunc": true,
-	"NewGaugeFunc":   true,
+	"NewCounter":          true,
+	"NewGauge":            true,
+	"NewHistogram":        true,
+	"NewCounterFunc":      true,
+	"NewFloatCounterFunc": true,
+	"NewGaugeFunc":        true,
 }
 
 func runMetricName(pass *Pass) error {

@@ -63,6 +63,23 @@ func registerProxy(reg *obs.Registry, shards []string) {
 	reg.NewGauge("histproxy_Shard_Up", "bad: upper case")       // want `violates the naming contract`
 }
 
+// registerRuntime covers the runtime/contention collector's names
+// (internal/obs NewRuntimeCollector): histcube_runtime_* gauges and
+// counters plus the histcube_lock_* totals, including the
+// NewFloatCounterFunc registration path for float64 monotonic totals.
+func registerRuntime(reg *obs.Registry) {
+	reg.NewGaugeFunc("histcube_runtime_goroutines", "ok: runtime gauge", count2)
+	reg.NewGaugeFunc("histcube_runtime_heap_bytes", "ok: runtime gauge", count2)
+	reg.NewGaugeFunc("histcube_runtime_gc_pause_p99_seconds", "ok: runtime gauge", count2)
+	reg.NewCounterFunc("histcube_runtime_gc_cycles_total", "ok: runtime counter", count)
+	reg.NewFloatCounterFunc("histcube_lock_wait_seconds_total", "ok: float counter func", count2)
+	reg.NewCounterFunc("histcube_lock_contention_events_total", "ok: runtime counter", count)
+
+	reg.NewFloatCounterFunc("histcube_Lock_Wait", "bad: upper case", count2)   // want `violates the naming contract`
+	reg.NewFloatCounterFunc("lock_wait_seconds_total", "bad: prefix", count2)  // want `violates the naming contract`
+	reg.NewFloatCounterFunc("histcube_lock_wait_seconds_total", "bad", count2) // want `metric "histcube_lock_wait_seconds_total" is registered at two sites`
+}
+
 const namedSpan = "histcube.named_span"
 
 func spans(dynamic string) {

@@ -17,6 +17,8 @@ func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter { ret
 
 func (r *Registry) NewCounterFunc(name, help string, fn func() int64, labels ...Label) {}
 
+func (r *Registry) NewFloatCounterFunc(name, help string, fn func() float64, labels ...Label) {}
+
 func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge { return &Gauge{} }
 
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {}

@@ -265,11 +265,12 @@ const (
 type series struct {
 	labels []Label
 
-	counter     *Counter
-	gauge       *Gauge
-	histogram   *Histogram
-	counterFunc func() int64
-	gaugeFunc   func() float64
+	counter          *Counter
+	gauge            *Gauge
+	histogram        *Histogram
+	counterFunc      func() int64
+	counterFloatFunc func() float64
+	gaugeFunc        func() float64
 }
 
 // family is all series sharing one metric name.
@@ -334,6 +335,15 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() int64, labels ...
 	s.counterFunc = fn
 }
 
+// NewFloatCounterFunc registers a counter whose float64 value is read
+// from fn at scrape time — for monotonic totals the runtime reports in
+// fractional units (cumulative seconds of GC pause or lock wait). fn
+// must be safe to call from the scrape goroutine.
+func (r *Registry) NewFloatCounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindCounter, labels)
+	s.counterFloatFunc = fn
+}
+
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
 	s := r.register(name, help, kindGauge, labels)
@@ -375,6 +385,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, key, s.counter.Value())
 			case s.counterFunc != nil:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, key, s.counterFunc())
+			case s.counterFloatFunc != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, key, formatFloat(s.counterFloatFunc()))
 			case s.gauge != nil:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, key, s.gauge.Value())
 			case s.gaugeFunc != nil:

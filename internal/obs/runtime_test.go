@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRuntimeMetrics is the `make runtimemetrics` smoke: the collector
+// registers, samples, and every advertised series renders with a sane
+// value.
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC() // at least one cycle so gc_cycles_total is non-zero
+	c.Sample()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"histcube_runtime_goroutines",
+		"histcube_runtime_heap_bytes",
+		"histcube_runtime_gc_pause_p99_seconds",
+		"histcube_runtime_sched_latency_p99_seconds",
+		"histcube_runtime_gc_cycles_total",
+		"histcube_lock_wait_seconds_total",
+		"histcube_lock_contention_events_total",
+	} {
+		if !strings.Contains(out, "\n"+name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "histcube_runtime_goroutines 0\n") {
+		t.Error("goroutine gauge sampled as 0 in a running process")
+	}
+	if strings.Contains(out, "histcube_runtime_gc_cycles_total 0\n") {
+		t.Error("gc_cycles_total is 0 right after runtime.GC()")
+	}
+
+	stop := c.Start(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // idempotent
+}
+
+// TestMutexContentionEvents: with profiling enabled, forced contention
+// shows up in the sampled event counter.
+func TestMutexContentionEvents(t *testing.T) {
+	old := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(old)
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				time.Sleep(10 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mutexContentionEvents(); got == 0 {
+		t.Error("no contention events sampled despite profile fraction 1 and contended locking")
+	}
+}
+
+// TestHistogramQuantile pins the nearest-rank digestion of runtime
+// histograms, including the +Inf overflow bucket falling back to its
+// finite lower edge.
+func TestHistogramQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 3, 2},
+		Buckets: []float64{0, 0.1, 0.2, 0.3},
+	}
+	if got := float64HistogramQuantile(h, 0.5); got != 0.1 {
+		t.Errorf("p50 = %v, want 0.1", got)
+	}
+	if got := float64HistogramQuantile(h, 0.99); got != 0.3 {
+		t.Errorf("p99 = %v, want 0.3", got)
+	}
+	// The overflow bucket's +Inf upper edge falls back to its finite
+	// lower edge, so a tail landing there still reports a real number.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 9},
+		Buckets: []float64{0, 0.5, math.Inf(1)},
+	}
+	if got := float64HistogramQuantile(inf, 0.99); got != 0.5 {
+		t.Errorf("overflow p99 = %v, want the finite lower edge 0.5", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := float64HistogramQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+	if got := float64HistogramQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram p99 = %v, want 0", got)
+	}
+}

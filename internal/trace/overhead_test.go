@@ -21,6 +21,10 @@ func benchDisabledPath(b *testing.B) {
 		child.SetInt("slice", 3)
 		child.End()
 		traceSink += sp.Total(CellsTouched)
+		// The distributed-tracing identity branch: reading the trace ID
+		// off a disabled span must stay a single nil check and must not
+		// reach the ID generator.
+		traceSink += int64(sp.TraceID())
 	}
 }
 
@@ -45,11 +49,12 @@ func TestDisabledTracerOverhead(t *testing.T) {
 		t.Fatalf("disabled tracer allocates %d objects/op, want 0", allocs)
 	}
 	nsPerCall := float64(res.T.Nanoseconds()) / float64(res.N)
-	// The benchmark body makes 5 nil-safe calls; the contract is
-	// <= 5 ns per call on the disabled path.
-	const budget = 5.0 * 5
+	// The benchmark body makes 6 nil-safe calls (including the
+	// disabled-path TraceID read); the contract is <= 5 ns per call on
+	// the disabled path.
+	const budget = 5.0 * 6
 	if nsPerCall > budget {
-		t.Fatalf("disabled tracer costs %.2f ns per hot-path iteration (5 calls), want <= %.0f", nsPerCall, budget)
+		t.Fatalf("disabled tracer costs %.2f ns per hot-path iteration (6 calls), want <= %.0f", nsPerCall, budget)
 	}
-	t.Logf("disabled tracer: %.2f ns per 5-call iteration, %d allocs", nsPerCall, res.AllocsPerOp())
+	t.Logf("disabled tracer: %.2f ns per 6-call iteration, %d allocs", nsPerCall, res.AllocsPerOp())
 }

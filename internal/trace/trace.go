@@ -141,27 +141,70 @@ type Span struct {
 	name     string
 	start    time.Time
 	dur      time.Duration
+	traceID  ID // shared by every span of one request tree
+	spanID   ID // unique per span
 	attrs    []Attr
 	children []*Span
 	counters [NumCounters]int64
 }
 
-// New starts a root span. Span names are part of the observability
+// New starts a root span with a freshly generated TraceID — the edge
+// of a distributed trace. Span names are part of the observability
 // contract: constant dotted snake_case under the histcube. or
 // histserve. prefix, enforced by histlint's metricname analyzer.
 func New(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), traceID: NewID(), spanID: NewID()}
 }
 
-// StartChild starts and appends a child span; it returns nil when s is
-// nil, so disabled tracing propagates through call trees for free.
+// StartChild starts and appends a child span inheriting the parent's
+// TraceID; it returns nil when s is nil, so disabled tracing
+// propagates through call trees for free.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(), traceID: s.traceID, spanID: NewID()}
 	s.children = append(s.children, c)
 	return c
+}
+
+// TraceID returns the request-wide trace identifier (zero for nil).
+func (s *Span) TraceID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns this span's own identifier (zero for nil).
+func (s *Span) SpanID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// SetTraceID adopts a propagated trace identifier (the TID= request
+// token), replacing the generated one. It must run before children are
+// started — they inherit at StartChild time. A zero id (no token on
+// the request) is a no-op, so call sites need no branch; a nil span is
+// a no-op like every other method.
+func (s *Span) SetTraceID(id ID) {
+	if s == nil || id == 0 {
+		return
+	}
+	s.traceID = id
+}
+
+// Graft appends an already-built span as a child — the proxy-side
+// merge that hangs a shard's decoded tree (SpanJSON.Span) under its
+// proxy.leg span so Total sums the whole distributed request. Nil
+// receiver and nil child are no-ops.
+func (s *Span) Graft(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.children = append(s.children, child)
 }
 
 // End fixes the span's duration. Ending twice keeps the first
@@ -338,6 +381,8 @@ func (s *Span) render(w io.Writer, depth int) {
 // -trace reports.
 type SpanJSON struct {
 	Name       string           `json:"name"`
+	TraceID    string           `json:"trace_id,omitempty"`
+	SpanID     string           `json:"span_id,omitempty"`
 	StartNano  int64            `json:"start_unix_nano"`
 	DurationNS int64            `json:"duration_ns"`
 	Attrs      map[string]any   `json:"attrs,omitempty"`
@@ -352,6 +397,8 @@ func (s *Span) JSON() *SpanJSON {
 	}
 	j := &SpanJSON{
 		Name:       s.name,
+		TraceID:    s.traceID.String(),
+		SpanID:     s.spanID.String(),
 		StartNano:  s.start.UnixNano(),
 		DurationNS: int64(s.dur),
 	}
