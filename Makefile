@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is the CI gate.
 
-.PHONY: check build test race bench bench-smoke shardbench microbench fmt crash lint lockgraph fuzz explain traceguard perfguard chaos shardchaos runtimemetrics
+.PHONY: check build test race bench bench-smoke shardbench replbench microbench fmt crash lint lockgraph fuzz explain traceguard perfguard chaos shardchaos replchaos runtimemetrics
 
 check:
 	./check.sh
@@ -61,6 +61,16 @@ shardbench:
 	go run ./cmd/histperf -serve-bin bin/histserve -proxy-bin bin/histproxy \
 	    -shard-count 4 -mixes read -conns 4 -duration 5s -warmup 1s -out auto
 
+# Replicated-topology load: the same read mix against a 2-shard
+# topology with one WAL-shipping follower per shard — hedged reads fan
+# across the replica sets. Written as the next BENCH_<seq>.json
+# trajectory point.
+replbench:
+	go build -o bin/histserve ./cmd/histserve
+	go build -o bin/histproxy ./cmd/histproxy
+	go run ./cmd/histperf -serve-bin bin/histserve -proxy-bin bin/histproxy \
+	    -shard-count 2 -replicas 1 -mixes read,mixed -conns 4 -duration 5s -warmup 1s -out auto
+
 microbench:
 	go test -bench=. -benchmem ./...
 
@@ -75,6 +85,13 @@ chaos:
 # complete once the shard rejoins, without a proxy restart.
 shardchaos:
 	go test -race -count=1 -v -run TestShardChaosPartialAnswersAndRejoin ./cmd/histproxy/
+
+# Replication chaos: SIGKILL a semi-sync primary mid-append under live
+# proxy write load; no acked write may be lost, reads must stay exact
+# and complete via the WAL-shipped replica, and the promoted replica
+# must take writes within the prober's failover interval.
+replchaos:
+	go test -race -count=1 -v -run TestReplChaosPrimaryKillUnderLoad ./cmd/histproxy/
 
 explain:
 	go test -race -count=1 -v -run TestExplainSmokeRealBinary ./cmd/histserve/

@@ -55,6 +55,14 @@ echo "== multi-shard chaos (histproxy scatter-gather degradation) =="
 # on the same port restores complete answers without a proxy restart.
 go test -race -count=1 -run TestShardChaosPartialAnswersAndRejoin ./cmd/histproxy/
 
+echo "== replication chaos (primary SIGKILL, failover, zero acked-write loss) =="
+# SIGKILL a semi-sync primary mid-append under live proxy write load:
+# the final sum must contain every acked write (and nothing phantom),
+# reads must keep answering exact non-PARTIAL totals via the WAL-
+# shipped replica, and the promoted replica must accept writes within
+# the prober's failover interval.
+go test -race -count=1 -run TestReplChaosPrimaryKillUnderLoad ./cmd/histproxy/
+
 echo "== disabled-tracer overhead guard (<= 5 ns/op) =="
 # Without -race on purpose: the guard benchmarks the nil-span hot path
 # and race instrumentation distorts timings (the test self-skips under

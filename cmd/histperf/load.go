@@ -39,6 +39,9 @@ type loadConfig struct {
 	// ShardCount > 1 launches that many Bin shards behind a ProxyBin
 	// histproxy and drives the load through the proxy.
 	ShardCount int
+	// Replicas gives every shard that many WAL-shipping followers; the
+	// proxy's map carries the full member sets.
+	Replicas   int
 	ProxyBin   string
 	Mixes      []string
 	ProfileDir string
@@ -93,7 +96,7 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	addr, metricsAddr := cfg.Addr, cfg.MetricsAddr
 	switch {
 	case cfg.ShardCount > 1:
-		topo, err := launchTopology(cfg.Bin, cfg.ProxyBin, cfg.Dims, cfg.ShardCount, seedSlices)
+		topo, err := launchTopology(cfg.Bin, cfg.ProxyBin, cfg.Dims, cfg.ShardCount, cfg.Replicas, seedSlices)
 		if err != nil {
 			return nil, err
 		}
@@ -122,6 +125,7 @@ func runLoad(cfg loadConfig) (*Report, error) {
 			Seed:            cfg.Seed,
 			Skew:            cfg.Skew,
 			ShardCount:      cfg.ShardCount,
+			Replicas:        cfg.Replicas,
 		},
 		Mixes: make(map[string]*MixResult, len(spec)),
 	}

@@ -82,6 +82,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "workload generator seed")
 		skew        = fs.Float64("skew", 0, "Zipf exponent for seed/write coordinate hot spots (0 = uniform; otherwise must be > 1)")
 		shardCount  = fs.Int("shard-count", 0, "launch a sharded topology: this many histserve shards behind a histproxy (requires -serve-bin and -proxy-bin)")
+		replicas    = fs.Int("replicas", 0, "topology mode: WAL-shipping follower replicas per shard (each shard becomes a primary|replica set; reads hedge across members)")
 		proxyBin    = fs.String("proxy-bin", "", "histproxy binary for the -shard-count topology")
 		mixesArg    = fs.String("mixes", "read,write,mixed,convergence", "comma-separated mixes to run")
 		profileDir  = fs.String("profile-dir", "", "capture pprof profiles (cpu per mix, heap/mutex/block) into this directory")
@@ -133,6 +134,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "histperf: -proxy-bin without -shard-count does nothing; pass -shard-count N")
 		return 2
 	}
+	if *replicas < 0 || (*replicas > 0 && *shardCount == 0) {
+		fmt.Fprintln(stderr, "histperf: -replicas needs a -shard-count topology and must be non-negative")
+		return 2
+	}
 
 	cfg := loadConfig{
 		Bin:         *serveBin,
@@ -147,6 +152,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Seed:        *seed,
 		Skew:        *skew,
 		ShardCount:  *shardCount,
+		Replicas:    *replicas,
 		ProxyBin:    *proxyBin,
 		Mixes:       splitMixes(*mixesArg),
 		ProfileDir:  *profileDir,

@@ -105,10 +105,13 @@ func launchProc(bin string, args []string) (*serverProc, error) {
 	return p, nil
 }
 
-// topology is a sharded fleet: N histserve shards behind a histproxy.
+// topology is a sharded fleet: N histserve shards (each optionally a
+// primary/replica set kept in sync by WAL shipping) behind a histproxy.
 type topology struct {
-	shards []*serverProc
-	proxy  *serverProc
+	shards   []*serverProc // primaries, in shard-map order
+	replicas []*serverProc // followers across all shards
+	proxy    *serverProc
+	dirs     []string // temp data directories, removed on stop
 }
 
 func (t *topology) stop() {
@@ -119,35 +122,76 @@ func (t *topology) stop() {
 	for _, s := range t.shards {
 		s.stop()
 	}
+	for _, r := range t.replicas {
+		r.stop()
+	}
+	for _, d := range t.dirs {
+		_ = os.RemoveAll(d)
+	}
 }
 
 // launchTopology starts shardCount histserve shards and a histproxy
 // routing over them. The shard map partitions [0, timeSpan) — the
 // first mix's seeded time region — evenly, with the last shard
 // open-ended so it also absorbs the hot append frontier; a read mix
-// over the seeded region therefore fans across every shard.
-func launchTopology(serveBin, proxyBin, dims string, shardCount, timeSpan int) (*topology, error) {
+// over the seeded region therefore fans across every shard. replicas >
+// 0 gives every shard that many WAL-shipping followers (primary and
+// followers each get a private temp data directory — replication
+// streams from the primary's log), and the proxy's shard map carries
+// the full "primary|replica" member sets so reads hedge across them.
+func launchTopology(serveBin, proxyBin, dims string, shardCount, replicas, timeSpan int) (*topology, error) {
 	if shardCount > timeSpan {
 		return nil, fmt.Errorf("-shard-count %d exceeds the %d seeded time slices: shards would own empty ranges", shardCount, timeSpan)
 	}
 	topo := &topology{}
+	tempDir := func() (string, error) {
+		d, err := os.MkdirTemp("", "histperf-shard-")
+		if err == nil {
+			topo.dirs = append(topo.dirs, d)
+		}
+		return d, err
+	}
 	var spec strings.Builder
 	for i := 0; i < shardCount; i++ {
-		sh, err := launchServer(serveBin, dims, nil)
+		var extra []string
+		if replicas > 0 {
+			dir, err := tempDir()
+			if err != nil {
+				topo.stop()
+				return nil, err
+			}
+			extra = []string{"-data-dir", dir}
+		}
+		sh, err := launchServer(serveBin, dims, extra)
 		if err != nil {
 			topo.stop()
 			return nil, fmt.Errorf("launching shard %d/%d: %w", i+1, shardCount, err)
 		}
 		topo.shards = append(topo.shards, sh)
+		members := sh.addr
+		for r := 0; r < replicas; r++ {
+			dir, err := tempDir()
+			if err != nil {
+				topo.stop()
+				return nil, err
+			}
+			rep, err := launchServer(serveBin, dims, []string{"-data-dir", dir, "-follow", sh.addr})
+			if err != nil {
+				topo.stop()
+				return nil, fmt.Errorf("launching replica %d of shard %d/%d: %w", r+1, i+1, shardCount, err)
+			}
+			topo.replicas = append(topo.replicas, rep)
+			members += "|" + rep.addr
+		}
 		lo := i * timeSpan / shardCount
 		if i > 0 {
 			spec.WriteByte(',')
 		}
 		if i == shardCount-1 {
-			fmt.Fprintf(&spec, "%s=%d-", sh.addr, lo)
+			fmt.Fprintf(&spec, "%s=%d-", members, lo)
 		} else {
 			hi := (i+1)*timeSpan/shardCount - 1
-			fmt.Fprintf(&spec, "%s=%d-%d", sh.addr, lo, hi)
+			fmt.Fprintf(&spec, "%s=%d-%d", members, lo, hi)
 		}
 	}
 	proxy, err := launchProc(proxyBin, []string{
@@ -295,9 +339,10 @@ var serverDeltaKeys = map[string]string{
 	`histproxy_requests_total{cmd="INS"}`: "requests_ins",
 	`histproxy_errors_total{cmd="QRY"}`:   "errors_qry",
 	`histproxy_errors_total{cmd="INS"}`:   "errors_ins",
-	`histproxy_partials_total`:            "partials",
+	`histproxy_partial_answers_total`:     "partials",
 	`histproxy_fanout_legs_total`:         "fanout_legs",
 	`histproxy_leg_failures_total`:        "leg_failures",
+	`histproxy_failovers_total`:           "failovers",
 }
 
 // runtimeStats digests the runtime/contention series of a scrape pair;

@@ -47,6 +47,9 @@ type RunConfig struct {
 	// ShardCount > 1 marks a topology run: that many histserve shards
 	// behind a histproxy, with the load driven through the proxy.
 	ShardCount int `json:"shard_count,omitempty"`
+	// Replicas is the WAL-shipping follower count per shard in a
+	// replicated topology run (0 = unreplicated shards).
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // LatencyDigest is the standard client-side latency block, in

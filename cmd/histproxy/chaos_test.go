@@ -172,7 +172,7 @@ func TestShardChaosPartialAnswersAndRejoin(t *testing.T) {
 	if got := c.cmd(t, "QRY 0 299 0 0 7 7"); got != full {
 		t.Fatalf("seeded QRY -> %q, want %s", got, full)
 	}
-	wantPartial := fmt.Sprintf("PARTIAL 200 covered=0-99,200-299 missing=%s=100-199", s1.addr)
+	wantPartial := fmt.Sprintf("PARTIAL 200 coverage=0.667 covered=0-99,200-299 missing=%s=100-199", s1.addr)
 
 	// SIGKILL the historic shard mid-workload: from here on, every
 	// answer must be either the exact full total (a leg that raced the

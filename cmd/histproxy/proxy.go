@@ -13,7 +13,9 @@
 //
 // The -shards map assigns each backend an inclusive transaction-time
 // range; ranges must be contiguous and exactly the last is open-ended
-// (the hot shard taking appends). Why this is correct — and cheap — is
+// (the hot shard taking appends). Each backend may be a '|'-separated
+// replica set, primary first ("primary|replica=lo-hi"): the proxy
+// routes writes to the primary and reads to any healthy member. Why this is correct — and cheap — is
 // the paper's Sec. 2.2 reduction: a d-dimensional range query is
 // answered by prefix differences along time, and SUM/COUNT are
 // invertible, so the answer over [tlo, thi] is exactly the sum of the
@@ -50,13 +52,37 @@
 // on consecutive transport failures), a read query is NOT an error and
 // does NOT hang — the proxy answers
 //
-//	PARTIAL <value> covered=<ranges> missing=<addr=lo-hi,...>
+//	PARTIAL <value> coverage=<fraction> covered=<ranges> missing=<addr=lo-hi,...>
 //
-// carrying the exact sum over the live time ranges and naming the
-// holes. A wrong total is never presented as complete. Mutations to a
-// dead shard fail explicitly (a write cannot be partial). When the
-// shard rejoins, the breaker's half-open probe (plus the background
-// prober) restores complete answers without a proxy restart.
+// carrying the exact sum over the live time ranges, the fraction of
+// the asked time span that sum covers, and the names of the holes. A
+// wrong total is never presented as complete. Mutations to a dead
+// shard fail explicitly (a write cannot be partial). When the shard
+// rejoins, the breaker's half-open probe (plus the background prober)
+// restores complete answers without a proxy restart.
+//
+// Replication and failover: a shard declared as a replica set
+// ("primary|replica=lo-hi") is one internal/shardclient.Group. Reads
+// go to any healthy member — every member replays the primary's
+// totally ordered WAL stream (histserve -follow), so members answer
+// bit-identically — and a read still unanswered after -hedge-after is
+// duplicated to the next member, first answer wins. Writes pin to the
+// primary and are never retried (a duplicate mutation is a
+// double-apply). When the primary stops answering — a failed write,
+// or the background prober seeing its breaker open — the proxy polls
+// every member's ROLE, adopts a member that is already primary, or
+// promotes the most-caught-up replica with PROMOTE <fence> where the
+// fence is the highest applied LSN observed across the set: a lagging
+// replica can never be promoted over acked writes it missed. With
+// semi-sync primaries (histserve -repl-min-acks 1) every acked write
+// is applied on a replica before its OK, so promotion preserves every
+// acked write.
+//
+// The hidden -fault-spec / -fault-seed flags arm the deterministic
+// fault injector (internal/fault) at the proxy's shard-facing sites:
+// "proxy.dial" before each backend dial and "proxy.conn.read" /
+// "proxy.conn.write" around pooled-connection I/O — the chaos
+// harness's hook for drops and stalls between proxy and shard.
 //
 // With -seal-historic the proxy demotes every closed-range shard at
 // startup by issuing SEAL <hi> — a misrouted or replayed mutation
@@ -102,6 +128,7 @@ import (
 	"syscall"
 	"time"
 
+	"histcube/internal/fault"
 	"histcube/internal/obs"
 	"histcube/internal/perf"
 	"histcube/internal/retry"
@@ -118,9 +145,14 @@ var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "VER
 var errInternal = errors.New("internal error (recovered panic; see proxy log)")
 
 type proxy struct {
-	smap    *shard.Map
-	clients []*shardclient.Client // parallel to smap.Shards()
-	dims    int
+	smap   *shard.Map
+	groups []*shardclient.Group // parallel to smap.Shards(); one replica-set client per shard
+	dims   int
+
+	// foBusy is the per-shard failover single-flight latch (parallel to
+	// groups): the first trigger runs the ROLE poll + promotion, every
+	// concurrent trigger returns immediately.
+	foBusy []atomic.Bool
 
 	reg    *obs.Registry
 	log    *slog.Logger
@@ -148,6 +180,7 @@ type proxy struct {
 	requests    map[string]*obs.Counter
 	errors      map[string]*obs.Counter
 	partials    *obs.Counter
+	failovers   *obs.Counter
 	fanoutLegs  *obs.Counter
 	legFailures *obs.Counter
 	connRejects *obs.Counter
@@ -169,13 +202,16 @@ func main() {
 		poolSize = flag.Int("pool-size", 4, "pooled connections kept per shard")
 		brkN     = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a shard's circuit breaker")
 		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects before the half-open trial")
-		probeIv  = flag.Duration("probe-every", 500*time.Millisecond, "background health-probe interval for unhealthy shards; 0 disables (rejoin then waits for client traffic)")
+		probeIv  = flag.Duration("probe-every", 500*time.Millisecond, "background health-probe interval for unhealthy shards; 0 disables (rejoin then waits for client traffic, and failover waits for a failed write)")
+		hedgeIv  = flag.Duration("hedge-after", 30*time.Millisecond, "duplicate a read to the next replica-set member after this long without an answer (single-member shards never hedge); 0 disables hedging")
 		perfWin  = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests")
 		slowThr  = flag.Duration("slow-query-threshold", 10*time.Millisecond, "fan-out queries at or above this end-to-end duration enter the proxy's slow-query log")
 		slowCap  = flag.Int("slowlog-size", 32, "worst traces retained by the proxy's slow-query log")
 		sealHist = flag.Bool("seal-historic", false, "at startup, demote every closed-range shard with SEAL <hi> so misrouted mutations cannot land in owned history")
 		rtEvery  = flag.Duration("runtime-metrics-every", 10*time.Second, "sampling interval for histcube_runtime_* gauges (GC pause, goroutines, scheduler latency); 0 disables the sampler")
 		mutexPF  = flag.Int("mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 samples every contention event, 0 disables); populates /debug/pprof/mutex and scales histcube_lock_contention_events_total")
+		fspec    = flag.String("fault-spec", "", "fault-injection spec armed at the proxy's shard-facing sites (proxy.dial, proxy.conn.read, proxy.conn.write; see internal/fault); empty disables")
+		fseed    = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
 	)
 	flag.Parse()
 
@@ -197,13 +233,29 @@ func main() {
 		logger.Error("bad -shards map", "err", err)
 		os.Exit(2)
 	}
-	p := newProxy(smap, dims, *perfWin, shardclient.Options{
+	copts := shardclient.Options{
 		PoolSize:         *poolSize,
 		OpTimeout:        *legTO,
 		BreakerThreshold: *brkN,
 		BreakerCooldown:  *brkCool,
 		DialRetry:        retry.Policy{Attempts: 2, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5},
-	})
+	}
+	var inj *fault.Injector
+	if *fspec != "" {
+		var err error
+		inj, err = fault.Parse(*fspec, *fseed)
+		if err != nil {
+			logger.Error("bad -fault-spec", "err", err)
+			os.Exit(2)
+		}
+		copts.DialFault = func() error { return inj.Check("proxy.dial").Err }
+		copts.WrapConn = func(c net.Conn) net.Conn { return inj.WrapConn("proxy.conn", c) }
+		logger.Warn("fault injection armed", "fault", inj.String())
+	}
+	p := newProxy(smap, dims, *perfWin, *hedgeIv, copts)
+	if inj != nil {
+		inj.RegisterMetrics(p.reg)
+	}
 	p.log = logger
 	p.slow = trace.NewSlowLog(*slowCap, *slowThr)
 	if *mutexPF > 0 {
@@ -253,8 +305,8 @@ func main() {
 		conn, err := ln.Accept()
 		if err != nil {
 			if closing.Load() {
-				for _, c := range p.clients {
-					c.Close()
+				for _, g := range p.groups {
+					g.Close()
 				}
 				logger.Info("shutdown complete")
 				return
@@ -266,13 +318,14 @@ func main() {
 	}
 }
 
-func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardclient.Options) *proxy {
+func newProxy(smap *shard.Map, dims int, perfWindow, hedgeAfter time.Duration, copts shardclient.Options) *proxy {
 	if perfWindow <= 0 {
 		perfWindow = 10 * time.Second
 	}
 	p := &proxy{
 		smap:       smap,
 		dims:       dims,
+		foBusy:     make([]atomic.Bool, smap.Len()),
 		reg:        obs.NewRegistry(),
 		log:        slog.Default(),
 		perf:       perf.NewSet(perfWindow, commands...),
@@ -282,7 +335,7 @@ func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardcl
 		maxLineLen: 1 << 20,
 	}
 	for _, s := range smap.Shards() {
-		p.clients = append(p.clients, shardclient.New(s.Addr, copts))
+		p.groups = append(p.groups, shardclient.NewGroup(s.Members(), hedgeAfter, copts))
 	}
 	p.perf.RegisterProxy(p.reg)
 	p.connections = p.reg.NewGauge("histproxy_connections", "Open client connections.")
@@ -296,8 +349,10 @@ func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardcl
 		p.errors[cmd] = p.reg.NewCounter("histproxy_errors_total",
 			"Requests answered with ERR, by protocol command.", obs.Label{Key: "cmd", Value: cmd})
 	}
-	p.partials = p.reg.NewCounter("histproxy_partials_total",
+	p.partials = p.reg.NewCounter("histproxy_partial_answers_total",
 		"Read queries answered PARTIAL because at least one shard leg failed.")
+	p.failovers = p.reg.NewCounter("histproxy_failovers_total",
+		"Primary failovers executed: a replica promoted or an already-promoted member adopted.")
 	p.fanoutLegs = p.reg.NewCounter("histproxy_fanout_legs_total",
 		"Shard legs dispatched across all fan-outs.")
 	p.legFailures = p.reg.NewCounter("histproxy_leg_failures_total",
@@ -307,24 +362,29 @@ func newProxy(smap *shard.Map, dims int, perfWindow time.Duration, copts shardcl
 	p.panics = p.reg.NewCounter("histproxy_panics_recovered_total",
 		"Request panics recovered into ERR internal responses.")
 	for i, s := range smap.Shards() {
-		c := p.clients[i]
+		g := p.groups[i]
 		p.reg.NewGaugeFunc("histproxy_shard_up",
-			"1 while the shard's circuit breaker is closed, 0 while it is open.",
+			"1 while at least one replica-set member's breaker is closed, 0 while every member is unreachable.",
 			func() float64 {
-				if c.Healthy() {
+				if g.Healthy() {
 					return 1
 				}
 				return 0
 			}, obs.Label{Key: "shard", Value: s.Addr})
+		p.reg.NewGaugeFunc("histproxy_hedged_reads",
+			"Hedged duplicate reads launched against the shard's replica set (monotone).",
+			func() float64 { return float64(g.Hedged()) },
+			obs.Label{Key: "shard", Value: s.Addr})
 	}
 	return p
 }
 
 // sealHistoric demotes every closed-range shard by sealing its range's
 // upper bound: the shard keeps serving reads but rejects mutations into
-// the history this map says it owns. Best-effort at startup — a shard
-// that is down right now logs a warning and stays unsealed until an
-// operator (or a restart) seals it.
+// the history this map says it owns. Every replica-set member is sealed
+// — a promoted replica must inherit the demotion. Best-effort at
+// startup: a member that is down right now logs a warning and stays
+// unsealed until an operator (or a restart) seals it.
 func (p *proxy) sealHistoric() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -332,33 +392,160 @@ func (p *proxy) sealHistoric() {
 		if s.Range.Hi == shard.Open {
 			continue // the hot shard stays writable
 		}
-		resp, err := p.clients[i].Do(ctx, fmt.Sprintf("SEAL %d", s.Range.Hi), false)
-		if err != nil || !strings.HasPrefix(resp, "OK") {
-			p.log.Warn("sealing historic shard failed", "shard", s.Addr, "resp", resp, "err", err)
-			continue
+		g := p.groups[i]
+		for j, member := range s.Members() {
+			resp, err := g.Member(j).Do(ctx, fmt.Sprintf("SEAL %d", s.Range.Hi), false)
+			if err != nil || !strings.HasPrefix(resp, "OK") {
+				p.log.Warn("sealing historic shard failed", "shard", member, "resp", resp, "err", err)
+				continue
+			}
+			p.log.Info("sealed historic shard", "shard", member, "through", s.Range.Hi)
 		}
-		p.log.Info("sealed historic shard", "shard", s.Addr, "through", s.Range.Hi)
 	}
 }
 
-// probeLoop keeps probing unhealthy shards so a rejoining shard's
-// breaker closes from the background, not only from client traffic.
+// probeLoop keeps probing unhealthy replica-set members so a rejoining
+// member's breaker closes from the background, not only from client
+// traffic — and it is the standing failover trigger: a shard whose
+// current primary is unreachable while another member is alive gets a
+// promotion attempt every interval until one sticks.
 func (p *proxy) probeLoop(every time.Duration) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for range tick.C {
-		for i, c := range p.clients {
-			if c.Healthy() {
-				continue
+		for i, g := range p.groups {
+			members := p.smap.Shards()[i].Members()
+			for j := 0; j < g.Len(); j++ {
+				c := g.Member(j)
+				if c.Healthy() {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), every)
+				err := c.Probe(ctx)
+				cancel()
+				if err == nil {
+					p.log.Info("shard member rejoined", "member", members[j])
+				}
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), every)
-			err := c.Probe(ctx)
-			cancel()
-			if err == nil {
-				p.log.Info("shard rejoined", "shard", p.smap.Shards()[i].Addr)
+			if !g.Primary().Healthy() && g.Healthy() {
+				go p.maybeFailover(i)
 			}
 		}
 	}
+}
+
+// failoverTimeout bounds one failover round: the ROLE poll across the
+// replica set plus the PROMOTE round-trip.
+const failoverTimeout = 2 * time.Second
+
+// roleInfo is one member's parsed ROLE reply.
+type roleInfo struct {
+	ok      bool
+	primary bool
+	lsn     uint64 // applied_lsn (replica) or last_lsn (primary)
+}
+
+// parseRole decodes a histserve ROLE reply ("OK role=... k=v ...").
+func parseRole(resp string) roleInfo {
+	body, ok := strings.CutPrefix(resp, "OK ")
+	if !ok {
+		return roleInfo{}
+	}
+	info := roleInfo{ok: true}
+	for _, tok := range strings.Fields(body) {
+		k, v, found := strings.Cut(tok, "=")
+		if !found {
+			continue
+		}
+		switch k {
+		case "role":
+			info.primary = v == "primary"
+		case "applied_lsn", "last_lsn":
+			if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+				info.lsn = n
+			}
+		}
+	}
+	return info
+}
+
+// pollRoles asks every member of g for its ROLE concurrently; a member
+// that fails the round-trip stays ok=false.
+func (p *proxy) pollRoles(ctx context.Context, g *shardclient.Group) []roleInfo {
+	infos := make([]roleInfo, g.Len())
+	var wg sync.WaitGroup
+	for j := 0; j < g.Len(); j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := g.Member(j).Do(ctx, "ROLE", true)
+			if err == nil {
+				infos[j] = parseRole(resp)
+			}
+		}()
+	}
+	wg.Wait()
+	return infos
+}
+
+// maybeFailover re-points writes for shard i after its primary stopped
+// answering: poll every member's ROLE, adopt a member that already
+// calls itself primary (an operator or a competing trigger promoted
+// it), else promote the most-caught-up replica — fenced at the highest
+// applied LSN observed across the set, so a lagging replica can never
+// be promoted over acked writes it missed. Single-flight per shard;
+// concurrent triggers return immediately.
+func (p *proxy) maybeFailover(i int) {
+	if !p.foBusy[i].CompareAndSwap(false, true) {
+		return
+	}
+	defer p.foBusy[i].Store(false)
+	g := p.groups[i]
+	if g.Len() < 2 {
+		return // nothing to promote
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), failoverTimeout)
+	defer cancel()
+	infos := p.pollRoles(ctx, g)
+	cur := g.PrimaryIndex()
+	if infos[cur].ok && infos[cur].primary {
+		return // the primary answered after all: spurious trigger
+	}
+	members := p.smap.Shards()[i].Members()
+	best := -1
+	var fence uint64
+	for j, inf := range infos {
+		if !inf.ok {
+			continue
+		}
+		if inf.primary {
+			// Already promoted elsewhere: adopt, don't re-promote.
+			g.SetPrimary(j)
+			p.failovers.Inc()
+			p.log.Warn("adopted promoted primary", "shard", members[0], "new_primary", members[j])
+			return
+		}
+		if inf.lsn > fence {
+			fence = inf.lsn
+		}
+		if best == -1 || inf.lsn > infos[best].lsn {
+			best = j
+		}
+	}
+	if best < 0 {
+		p.log.Warn("failover found no live member", "shard", members[0])
+		return
+	}
+	resp, err := g.Member(best).Do(ctx, fmt.Sprintf("PROMOTE %d", fence), false)
+	if err != nil || !strings.HasPrefix(resp, "OK") {
+		p.log.Warn("promotion failed", "shard", members[0], "member", members[best], "resp", resp, "err", err)
+		return
+	}
+	g.SetPrimary(best)
+	p.failovers.Inc()
+	p.log.Warn("promoted replica after primary failure",
+		"shard", members[0], "new_primary", members[best], "fence", fence)
 }
 
 func (p *proxy) serveMetrics(addr string) (net.Listener, error) {
@@ -424,8 +611,8 @@ func (p *proxy) serveMetrics(addr string) (net.Listener, error) {
 
 func (p *proxy) shardsUp() int {
 	up := 0
-	for _, c := range p.clients {
-		if c.Healthy() {
+	for _, g := range p.groups {
+		if g.Healthy() {
 			up++
 		}
 	}
@@ -586,11 +773,30 @@ func (p *proxy) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 		var b strings.Builder
 		fmt.Fprintf(&b, "OK n=%d up=%d\n", len(shards), p.shardsUp())
 		for i, s := range shards {
+			g := p.groups[i]
 			state := "up"
-			if !p.clients[i].Healthy() {
+			if !g.Healthy() {
 				state = "down"
 			}
-			fmt.Fprintf(&b, "%s range=%s %s\n", s.Addr, s.Range, state)
+			fmt.Fprintf(&b, "%s range=%s %s", s.Addr, s.Range, state)
+			if g.Len() > 1 {
+				// Replica sets also report per-member role and health;
+				// single-member shards keep the historical line format.
+				parts := make([]string, g.Len())
+				for j, m := range s.Members() {
+					role := "replica"
+					if j == g.PrimaryIndex() {
+						role = "primary"
+					}
+					health := "up"
+					if !g.Member(j).Healthy() {
+						health = "down"
+					}
+					parts[j] = fmt.Sprintf("%s:%s=%s", m, role, health)
+				}
+				fmt.Fprintf(&b, " members=%s", strings.Join(parts, ","))
+			}
+			b.WriteByte('\n')
 		}
 		b.WriteString("END")
 		return b.String(), false
@@ -660,11 +866,21 @@ func (p *proxy) routeMutation(tid trace.ID, cmd, line string, fields []string) s
 	defer cancel()
 	// The owner shard's root span adopts the same trace ID via the TID=
 	// token, so the mutation is correlatable end to end.
-	resp, err := p.clients[idx].Do(ctx, trace.FormatRequestID(root.TraceID())+line, false)
+	resp, err := p.groups[idx].Write(ctx, trace.FormatRequestID(root.TraceID())+line)
 	root.End()
 	p.observe(line, root)
 	if err != nil {
+		// The write may or may not have reached the dead primary, so it
+		// is never retried here (a duplicate mutation is a double-apply)
+		// — the client gets the explicit error and a failover kicks off
+		// in the background so its retry finds a promoted primary.
+		go p.maybeFailover(idx)
 		return fmt.Sprintf("ERR shard %s unavailable: %v", owner.Addr, err)
+	}
+	if strings.HasPrefix(resp, "ERR read-only replica") {
+		// The proxy's notion of the primary is stale (a promotion it did
+		// not perform): re-poll roles so the next write lands right.
+		go p.maybeFailover(idx)
 	}
 	return resp
 }
@@ -728,16 +944,16 @@ func (p *proxy) scatterQuery(tid trace.ID, line string, args []string, explain b
 		if merged.Complete {
 			return value
 		}
-		return fmt.Sprintf("PARTIAL %s covered=%s missing=%s",
-			value, shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
+		return fmt.Sprintf("PARTIAL %s coverage=%.3f covered=%s missing=%s",
+			value, merged.Coverage(), shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
 	}
 
 	var b strings.Builder
 	if merged.Complete {
 		fmt.Fprintf(&b, "OK result=%s\n", value)
 	} else {
-		fmt.Fprintf(&b, "PARTIAL result=%s covered=%s missing=%s\n",
-			value, shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
+		fmt.Fprintf(&b, "PARTIAL result=%s coverage=%.3f covered=%s missing=%s\n",
+			value, merged.Coverage(), shard.FormatRanges(merged.Covered), shard.FormatMissing(merged.Missing))
 	}
 	root.Render(&b)
 	// Total over the merged tree: the only counters anywhere in it are
@@ -798,10 +1014,10 @@ func (p *proxy) fanOut(root *trace.Span, legs []shard.Leg, coords string, explai
 // grafts the shard's decoded span tree under the leg's span.
 func (p *proxy) queryLeg(ctx context.Context, sp *trace.Span, tidPrefix string, leg shard.Leg, coords string, explain bool) legResult {
 	res := legResult{leg: leg}
-	client := p.clients[leg.Index]
+	g := p.groups[leg.Index]
 	qry := fmt.Sprintf("QRY %d %d %s", leg.TimeLo, leg.TimeHi, coords)
 	if explain {
-		reply, err := client.Do(ctx, tidPrefix+"EXPLAIN JSON "+qry, true)
+		reply, err := g.Read(ctx, tidPrefix+"EXPLAIN JSON "+qry)
 		if err != nil {
 			res.err = err
 			return res
@@ -826,7 +1042,7 @@ func (p *proxy) queryLeg(ctx context.Context, sp *trace.Span, tidPrefix string, 
 		sp.Graft(doc.Trace.Span())
 		return res
 	}
-	reply, err := client.Do(ctx, tidPrefix+qry, true)
+	reply, err := g.Read(ctx, tidPrefix+qry)
 	if err != nil {
 		res.err = err
 		return res
@@ -876,14 +1092,14 @@ func (p *proxy) mergedStats() string {
 		resp string
 		err  error
 	}
-	replies := make([]statsReply, len(p.clients))
+	replies := make([]statsReply, len(p.groups))
 	var wg sync.WaitGroup
-	for i, c := range p.clients {
-		i, c := i, c
+	for i, g := range p.groups {
+		i, g := i, g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := c.Do(ctx, "STATS", true)
+			resp, err := g.Read(ctx, "STATS")
 			replies[i] = statsReply{idx: i, resp: resp, err: err}
 		}()
 	}
@@ -924,7 +1140,7 @@ func (p *proxy) mergedStats() string {
 		return "ERR no shard reachable for STATS"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "shards=%d shards_up=%d partials_total=%d",
+	fmt.Fprintf(&b, "shards=%d shards_up=%d partial_answers_total=%d",
 		p.smap.Len(), up, p.partials.Value())
 	for _, k := range order {
 		v := merged[k]
@@ -945,7 +1161,7 @@ func (p *proxy) shardIndex(addr string) int {
 			return j
 		}
 	}
-	return len(p.clients) - 1 // unreachable with a valid map; fall back to hot
+	return len(p.groups) - 1 // unreachable with a valid map; fall back to hot
 }
 
 // observe retains one finished request trace in the recent ring and,

@@ -210,7 +210,7 @@ func startProxy(t *testing.T, spec string) (addr string, p *proxy) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p = newProxy(smap, 2, time.Hour, shardclient.Options{
+	p = newProxy(smap, 2, time.Hour, 0, shardclient.Options{
 		OpTimeout:        time.Second,
 		BreakerThreshold: 1,
 		BreakerCooldown:  50 * time.Millisecond,
@@ -227,8 +227,8 @@ func startProxy(t *testing.T, spec string) (addr string, p *proxy) {
 	}
 	t.Cleanup(func() {
 		ln.Close()
-		for _, c := range p.clients {
-			c.Close()
+		for _, g := range p.groups {
+			g.Close()
 		}
 	})
 	go func() {
@@ -359,7 +359,7 @@ func TestProxyPartialOnDeadShardAndRejoin(t *testing.T) {
 	// Queries overlapping the dead range answer PARTIAL: live ranges
 	// summed, hole named, no error, no hang.
 	got := c.cmd(t, "QRY 0 300 0 0 7 7")
-	want := fmt.Sprintf("PARTIAL 16 covered=0-99,200-300 missing=%s=100-199", shards[1].addr())
+	want := fmt.Sprintf("PARTIAL 16 coverage=0.668 covered=0-99,200-300 missing=%s=100-199", shards[1].addr())
 	if got != want {
 		t.Fatalf("QRY over dead shard:\n got %q\nwant %q", got, want)
 	}
@@ -372,7 +372,7 @@ func TestProxyPartialOnDeadShardAndRejoin(t *testing.T) {
 		t.Fatalf("INS to dead shard -> %q, want ERR shard ... unavailable", got)
 	}
 	if p.partials.Value() == 0 {
-		t.Fatal("histproxy_partials_total not incremented")
+		t.Fatal("histproxy_partial_answers_total not incremented")
 	}
 
 	// Rejoin: restart on the same address; after the breaker cooldown
@@ -431,7 +431,7 @@ func TestProxyExplainPartial(t *testing.T) {
 	c.cmd(t, "INS 10 1 1 5")
 	shards[2].stop()
 	lines := c.multi(t, "EXPLAIN QRY 0 300 0 0 7 7")
-	if !strings.HasPrefix(lines[0], "PARTIAL result=5 covered=0-199 missing=") {
+	if !strings.HasPrefix(lines[0], "PARTIAL result=5 coverage=0.664 covered=0-199 missing=") {
 		t.Fatalf("EXPLAIN over dead shard first line = %q", lines[0])
 	}
 }
@@ -612,7 +612,7 @@ func TestProxyMergedStats(t *testing.T) {
 	c.cmd(t, "INS 250 1 1 7")
 
 	got := c.cmd(t, "STATS")
-	if !strings.HasPrefix(got, "shards=3 shards_up=3 partials_total=0") {
+	if !strings.HasPrefix(got, "shards=3 shards_up=3 partial_answers_total=0") {
 		t.Fatalf("STATS prefix: %q", got)
 	}
 	// appended sums across shards (1+0+1 facts, +2 STATS-counted... the

@@ -1,0 +1,201 @@
+package main
+
+// Replication-chaos harness: build the real histserve and histproxy
+// binaries, run a replicated hot shard (semi-sync primary + WAL-
+// shipping follower) behind the proxy, SIGKILL the primary mid-append
+// under live write load and verify the failover contract — no acked
+// write is ever lost (the final sum is bounded below by the OK count),
+// reads keep answering exact non-PARTIAL totals from the replica
+// throughout the outage, and the promoted replica accepts writes
+// within the prober's failover interval. This is the `make replchaos`
+// acceptance test wired into check.sh and CI; it builds and kills real
+// processes and is skipped under -short.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReplChaosPrimaryKillUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication chaos test builds and kills real processes")
+	}
+	serveBin := buildBinary(t, "histserve", "../histserve")
+	proxyBin := buildBinary(t, "histproxy", ".")
+
+	// One replicated hot shard. The primary is semi-sync (-repl-min-acks
+	// 1): an INS is OK'd only after the follower has durably appended
+	// AND applied it, so promotion can never lose an acked write.
+	pdir := filepath.Join(t.TempDir(), "primary-data")
+	rdir := filepath.Join(t.TempDir(), "replica-data")
+	serveArgs := []string{"-addr", "127.0.0.1:0", "-dims", "8,8", "-op", "sum"}
+	primary := startProc(t, serveBin, append(serveArgs,
+		"-data-dir", pdir, "-fsync", "always",
+		"-repl-min-acks", "1", "-repl-ack-timeout", "5s")...)
+	replica := startProc(t, serveBin, append(serveArgs,
+		"-data-dir", rdir, "-fsync", "always", "-follow", primary.addr)...)
+
+	spec := fmt.Sprintf("%s|%s=0-", primary.addr, replica.addr)
+	proxy := startProc(t, proxyBin,
+		"-addr", "127.0.0.1:0", "-dims", "8,8", "-shards", spec,
+		"-shard-timeout", "2s", "-request-timeout", "10s",
+		"-breaker-threshold", "1", "-breaker-cooldown", "100ms",
+		"-probe-every", "100ms", "-hedge-after", "20ms")
+	c := chaosDial(t, proxy.addr)
+
+	// Seed through the proxy. Every OK means the follower applied it.
+	const seedN = 100
+	for i := 0; i < seedN; i++ {
+		if got := c.cmd(t, fmt.Sprintf("INS %d %d %d 1", i, i%8, (i/3)%8)); got != "OK" {
+			t.Fatalf("seed INS %d -> %q", i, got)
+		}
+	}
+	const qry = "QRY 0 1000000 0 0 7 7"
+	if got := c.cmd(t, qry); got != strconv.Itoa(seedN) {
+		t.Fatalf("seeded QRY -> %q, want %d", got, seedN)
+	}
+
+	// Background writer: hammer appends on its own connection, tallying
+	// OKs (acked — must survive) and errors (indeterminate — each may or
+	// may not have landed). It redials when a raced kill breaks the
+	// connection and reports the first post-kill OK: the proof that a
+	// promoted replica took over the write path.
+	var (
+		tallyMu  sync.Mutex
+		okCount  int
+		errCount int
+	)
+	killed := make(chan struct{})
+	promotedOK := make(chan struct{})
+	stopWriter := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", proxy.addr)
+		if err != nil {
+			writerDone <- err
+			return
+		}
+		defer func() { conn.Close() }()
+		r := bufio.NewReader(conn)
+		sawKill, promoted := false, false
+		for i := 0; ; i++ {
+			select {
+			case <-stopWriter:
+				writerDone <- nil
+				return
+			default:
+			}
+			if !sawKill {
+				select {
+				case <-killed:
+					sawKill = true
+				default:
+				}
+			}
+			ts := seedN + i
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			_, werr := fmt.Fprintf(conn, "INS %d %d %d 1\n", ts, ts%8, (ts/3)%8)
+			var resp string
+			rerr := werr
+			if werr == nil {
+				resp, rerr = r.ReadString('\n')
+			}
+			tallyMu.Lock()
+			switch {
+			case rerr != nil:
+				// In-flight at the kill: indeterminate, and the proxy
+				// connection itself may have raced the teardown — redial.
+				errCount++
+				tallyMu.Unlock()
+				conn.Close()
+				nc, derr := net.Dial("tcp", proxy.addr)
+				if derr != nil {
+					writerDone <- derr
+					return
+				}
+				conn, r = nc, bufio.NewReader(nc)
+				continue
+			case strings.HasPrefix(strings.TrimSpace(resp), "OK"):
+				okCount++
+				if sawKill && !promoted {
+					promoted = true
+					close(promotedOK)
+				}
+			default:
+				errCount++ // explicit shard-unavailable / timeout reply
+			}
+			tallyMu.Unlock()
+		}
+	}()
+
+	// Let the writer get going, then SIGKILL the primary mid-append.
+	time.Sleep(150 * time.Millisecond)
+	primary.kill(t)
+	close(killed)
+
+	// Reads during the outage: the replica replays the primary's exact
+	// op stream, so every answer must be a plain, complete number —
+	// never PARTIAL, never an error, never a hang.
+	for i := 0; i < 20; i++ {
+		got := c.cmd(t, qry)
+		if strings.HasPrefix(got, "PARTIAL") || strings.HasPrefix(got, "ERR") {
+			t.Fatalf("QRY during outage -> %q; the replica must keep answers exact and complete", got)
+		}
+		if _, err := strconv.ParseFloat(got, 64); err != nil {
+			t.Fatalf("QRY during outage -> non-numeric %q", got)
+		}
+	}
+
+	// The promoted replica must take writes within the probe interval
+	// (plus generous slack for the ROLE poll and PROMOTE round-trips).
+	select {
+	case <-promotedOK:
+	case <-time.After(15 * time.Second):
+		t.Fatal("no write succeeded after the primary SIGKILL: failover never re-pointed the write path")
+	}
+	close(stopWriter)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer connection: %v", err)
+	}
+	tallyMu.Lock()
+	ok, errs := okCount, errCount
+	tallyMu.Unlock()
+
+	// Zero acked-write loss: every OK'd append must be in the final sum;
+	// every errored one may or may not be (indeterminate), but nothing
+	// else can appear.
+	final := c.cmd(t, qry)
+	sum, err := strconv.ParseFloat(final, 64)
+	if err != nil {
+		t.Fatalf("final QRY -> %q", final)
+	}
+	lo, hi := float64(seedN+ok), float64(seedN+ok+errs)
+	if sum < lo || sum > hi {
+		t.Fatalf("final SUM=%v outside [%v, %v] (ok=%d errs=%d): acked writes lost or phantoms appeared",
+			sum, lo, hi, ok, errs)
+	}
+
+	// The shard map reflects the takeover: the old replica is primary.
+	shards := c.cmd(t, "SHARDS")
+	var body strings.Builder
+	body.WriteString(shards)
+	for !strings.HasSuffix(strings.TrimSpace(body.String()), "END") {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SHARDS body: %v", err)
+		}
+		body.WriteString(line)
+	}
+	if !strings.Contains(body.String(), replica.addr+":primary=") {
+		t.Fatalf("SHARDS does not show the promoted replica as primary:\n%s", body.String())
+	}
+	t.Logf("outage: %d acked + %d indeterminate writes, final SUM=%v in [%v, %v]; replica promoted to primary",
+		ok, errs, sum, lo, hi)
+}

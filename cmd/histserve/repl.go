@@ -1,0 +1,716 @@
+// Replication: WAL shipping between a primary histserve and its
+// followers, and the follower half that applies the shipped stream.
+//
+// The protocol rides the same line-oriented TCP port as the client
+// protocol. A follower opens a connection and sends
+//
+//	REPLICATE FROM <lsn>
+//
+// after which the connection is dedicated to replication. The primary
+// answers with one of
+//
+//	OK from=<lsn>                     stream starts at <lsn>
+//	SNAP lsn=<lsn> size=<bytes>       follower is behind the retention
+//	                                  horizon; a cube snapshot covering
+//	                                  <lsn> follows as base64 lines,
+//	                                  terminated by ENDSNAP, then the
+//	                                  stream restarts at <lsn>+1
+//	ERR <msg>                         refused (diverged follower, no WAL)
+//
+// and then ships records and keepalives:
+//
+//	REC <lsn> <kind> <time> <c1> ... <cd> <value>
+//	PING <lsn>                        idle keepalive carrying the frontier
+//
+// The follower answers every applied record with "ACK <lsn>"; the
+// primary aggregates those in a replHub so mutations can wait for
+// -repl-min-acks followers before acknowledging the client
+// (semi-synchronous replication — the window in which an acked write
+// exists only on the primary is closed).
+//
+// Only acknowledged appends are shipped (wal.Stream's frontier), and a
+// follower applies a record only after durably appending it to its own
+// log — so promotion (PROMOTE [<min_lsn>]) turns a follower into a
+// primary whose log is a strict prefix of the failed primary's acked
+// history, and the fence argument lets the proxy refuse to promote a
+// replica that is missing acked writes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"histcube/internal/core"
+	"histcube/internal/wal"
+)
+
+// snapChunk is the raw byte count per base64 snapshot line; the
+// encoded line stays well under the follower's scanner buffer.
+const snapChunk = 48 * 1024
+
+// replPingEvery is the primary's idle keepalive cadence; it also
+// bounds how stale a follower's view of the frontier can be.
+const replPingEvery = time.Second
+
+// replReadTimeout is how long a follower waits for the next line
+// before declaring the link dead; several missed keepalives.
+const replReadTimeout = 10 * time.Second
+
+// replRedialDelay paces follower reconnection attempts.
+const replRedialDelay = 200 * time.Millisecond
+
+// replState is the follower side of replication: the link to the
+// primary and the positions the rest of the server reports (STATS,
+// ROLE, /readyz). It exists only when the server started with -follow.
+type replState struct {
+	primaryAddr string
+
+	applied    atomic.Uint64 // last LSN durably applied locally
+	primaryLSN atomic.Uint64 // newest frontier LSN the primary reported
+	synced     atomic.Bool   // caught up to the primary's frontier at least once
+	promoted   atomic.Bool   // PROMOTE turned this follower into a primary
+
+	stop     chan struct{} // closed by promotion; ends the follow loop
+	stopOnce sync.Once
+}
+
+// lag returns how many acked records the primary holds that this
+// follower has not applied yet.
+func (r *replState) lag() uint64 {
+	applied, frontier := r.applied.Load(), r.primaryLSN.Load()
+	if frontier <= applied {
+		return 0
+	}
+	return frontier - applied
+}
+
+// noteFrontier folds a frontier report (REC or PING) into the
+// replica's view and marks it synced once it has caught up — the
+// one-time readiness transition /readyz gates on.
+func (r *replState) noteFrontier(lsn uint64) {
+	for {
+		cur := r.primaryLSN.Load()
+		if lsn <= cur || r.primaryLSN.CompareAndSwap(cur, lsn) {
+			break
+		}
+	}
+	if r.applied.Load() >= r.primaryLSN.Load() {
+		r.synced.Store(true)
+	}
+}
+
+// isReplica reports whether the server is (still) a follower: started
+// with -follow and not yet promoted.
+func (s *server) isReplica() bool {
+	r := s.repl
+	return r != nil && !r.promoted.Load()
+}
+
+// replicaReject gates client mutations in follower mode: the replica's
+// cube is written only by the shipped stream, never by clients —
+// replica immutability is what makes hedged reads safe.
+func (s *server) replicaReject() string {
+	if s.isReplica() {
+		return "ERR read-only replica: mutations go to the primary (" + s.repl.primaryAddr + ")"
+	}
+	return ""
+}
+
+// roleLine answers the ROLE command: which side of replication this
+// server is on and how far its log extends — the probe a proxy uses to
+// pick the most caught-up replica during failover.
+func (s *server) roleLine() string {
+	if s.isReplica() {
+		r := s.repl
+		return fmt.Sprintf("OK role=replica applied_lsn=%d lag_lsn=%d primary=%s",
+			r.applied.Load(), r.lag(), r.primaryAddr)
+	}
+	return fmt.Sprintf("OK role=primary last_lsn=%d followers=%d", s.walLastLSN(), s.hub.Followers())
+}
+
+// promote answers PROMOTE [<min_lsn>]: flip this follower into a
+// primary. minLSN is the fence — the highest applied LSN the caller
+// observed anywhere in the replica set; a follower that has applied
+// less is missing acked writes and must refuse, so a lagging replica
+// can never be promoted over a more caught-up one. Promoting a server
+// that already is a primary is an idempotent OK (a retrying proxy must
+// not flap).
+func (s *server) promote(minLSN uint64) string {
+	if !s.isReplica() {
+		return fmt.Sprintf("OK role=primary last_lsn=%d followers=%d", s.walLastLSN(), s.hub.Followers())
+	}
+	r := s.repl
+	if applied := r.applied.Load(); applied < minLSN {
+		return fmt.Sprintf("ERR promotion fenced: applied LSN %d is behind the required fence %d (another replica holds more acked history)",
+			applied, minLSN)
+	}
+	if r.promoted.CompareAndSwap(false, true) {
+		r.stopOnce.Do(func() { close(r.stop) })
+		s.log.Warn("promoted to primary", "applied_lsn", r.applied.Load(), "fence", minLSN, "old_primary", r.primaryAddr)
+	}
+	return fmt.Sprintf("OK role=primary last_lsn=%d followers=%d", s.walLastLSN(), s.hub.Followers())
+}
+
+// walLastLSN reads the log's end under mu (0 without durability).
+func (s *server) walLastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.LastLSN()
+}
+
+// ---------------------------------------------------------------------------
+// Primary side: serving REPLICATE connections and aggregating ACKs.
+
+// replHub tracks how far each connected follower has acknowledged the
+// log and lets mutations wait for a quorum of acks (-repl-min-acks)
+// before the client sees OK.
+type replHub struct {
+	mu      sync.Mutex
+	nextID  int64            // guarded by mu
+	acked   map[int64]uint64 // follower conn id -> highest acked LSN; guarded by mu
+	waiters []*ackWaiter     // guarded by mu
+}
+
+// ackWaiter is one mutation parked until min followers ack lsn.
+type ackWaiter struct {
+	lsn uint64
+	min int
+	ch  chan struct{} // closed when satisfied
+}
+
+func newReplHub() *replHub { return &replHub{acked: make(map[int64]uint64)} }
+
+// register admits one follower connection and returns its id.
+func (h *replHub) register() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	id := h.nextID
+	h.acked[id] = 0
+	return id
+}
+
+// unregister drops a departed follower. Waiters counting on it will
+// time out rather than hang.
+func (h *replHub) unregister(id int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.acked, id)
+}
+
+// Followers returns the number of connected follower links.
+func (h *replHub) Followers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.acked)
+}
+
+// ack records a follower acknowledgement and releases every waiter it
+// satisfies.
+func (h *replHub) ack(id int64, lsn uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cur, ok := h.acked[id]
+	if !ok || lsn <= cur {
+		return
+	}
+	h.acked[id] = lsn
+	kept := h.waiters[:0]
+	for _, w := range h.waiters {
+		if h.ackCountLocked(w.lsn) >= w.min {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	h.waiters = kept
+}
+
+// ackCountLocked counts followers whose acknowledged position covers
+// lsn. The caller holds mu.
+func (h *replHub) ackCountLocked(lsn uint64) int {
+	n := 0
+	for _, a := range h.acked {
+		if a >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// addWaiter registers a waiter for lsn reaching min acks, or returns
+// nil when the threshold is already met.
+func (h *replHub) addWaiter(lsn uint64, min int) *ackWaiter {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ackCountLocked(lsn) >= min {
+		return nil
+	}
+	w := &ackWaiter{lsn: lsn, min: min, ch: make(chan struct{})}
+	h.waiters = append(h.waiters, w)
+	return w
+}
+
+// dropWaiter removes a timed-out waiter and returns the current ack
+// count for its LSN, closing the race between the timer firing and the
+// last ack arriving.
+func (h *replHub) dropWaiter(w *ackWaiter, lsn uint64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, x := range h.waiters {
+		if x == w {
+			h.waiters = append(h.waiters[:i], h.waiters[i+1:]...)
+			break
+		}
+	}
+	return h.ackCountLocked(lsn)
+}
+
+// WaitAcked blocks until min followers have acknowledged lsn or the
+// timeout passes. The returned error names the shortfall — the write
+// is already durable and applied locally, so the client must treat it
+// as indeterminate, not failed.
+func (h *replHub) WaitAcked(lsn uint64, min int, timeout time.Duration) error {
+	if min <= 0 {
+		return nil
+	}
+	w := h.addWaiter(lsn, min)
+	if w == nil {
+		return nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+		return nil
+	case <-t.C:
+	}
+	if n := h.dropWaiter(w, lsn); n < min {
+		return fmt.Errorf("replication timeout: record %d is durable on the primary but acknowledged by %d of %d required replicas within %s (treat the write as indeterminate)",
+			lsn, n, min, timeout)
+	}
+	return nil // satisfied in the race between timer and lock
+}
+
+// serveReplication hijacks one client connection for WAL shipping
+// after the handle loop saw its REPLICATE line. sc and w are the
+// connection's existing scanner/writer; sc is handed to the ACK reader
+// goroutine and must not be touched by the caller afterwards.
+func (s *server) serveReplication(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, line string) {
+	s.requests["REPLICATE"].Inc()
+	fail := func(msg string) {
+		s.errors["REPLICATE"].Inc()
+		fmt.Fprintln(w, "ERR "+msg)
+		s.setWriteDeadline(conn)
+		_ = w.Flush() // refusal is best-effort; the connection is done either way
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || !strings.EqualFold(fields[1], "FROM") {
+		fail("usage: REPLICATE FROM <lsn>")
+		return
+	}
+	from, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		fail("bad LSN: " + err.Error())
+		return
+	}
+	s.mu.Lock()
+	wl := s.wal
+	s.mu.Unlock()
+	if wl == nil {
+		fail("no data directory configured (start with -data-dir)")
+		return
+	}
+
+	id := s.hub.register()
+	defer s.hub.unregister(id)
+	log := s.log.With("follower", conn.RemoteAddr().String(), "repl_id", id)
+
+	// The follower's ACKs arrive on the same connection; a dedicated
+	// reader feeds them to the hub and cancels the stream when the
+	// follower goes away. Replication links carry keepalives instead of
+	// client deadlines, so the idle read timeout comes off.
+	_ = conn.SetReadDeadline(time.Time{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		defer cancel()
+		for sc.Scan() {
+			f := strings.Fields(sc.Text())
+			if len(f) == 2 && strings.EqualFold(f[0], "ACK") {
+				if lsn, err := strconv.ParseUint(f[1], 10, 64); err == nil {
+					s.hub.ack(id, lsn)
+				}
+			}
+		}
+	}()
+
+	// Position the stream, bootstrapping the follower from a snapshot
+	// when its position fell behind the checkpoint retention horizon.
+	var sub *wal.Stream
+	for {
+		sub, err = wl.SubscribeFrom(from)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, wal.ErrTruncated) {
+			fail(err.Error())
+			log.Warn("replication subscribe refused", "from", from, "err", err)
+			return
+		}
+		snapLSN, serr := s.sendSnapshot(conn, w)
+		if serr != nil {
+			log.Warn("snapshot ship failed", "err", serr)
+			return
+		}
+		log.Info("snapshot shipped", "lsn", snapLSN)
+		from = snapLSN + 1
+	}
+	fmt.Fprintf(w, "OK from=%d\n", from)
+	s.setWriteDeadline(conn)
+	if err := w.Flush(); err != nil {
+		return
+	}
+	log.Info("replication stream started", "from", from)
+
+	shipped := int64(0)
+	defer func() { log.Info("replication stream ended", "shipped", shipped) }()
+	for {
+		nctx, ncancel := context.WithTimeout(ctx, replPingEvery)
+		rec, err := sub.Next(nctx)
+		ncancel()
+		switch {
+		case err == nil:
+			writeRec(w, rec)
+			shipped++
+		case errors.Is(err, context.DeadlineExceeded):
+			// Idle: keepalive carrying the frontier, so the follower can
+			// tell "caught up" from "link dead".
+			fmt.Fprintf(w, "PING %d\n", wl.ShippedLSN())
+		case errors.Is(err, wal.ErrClosed), errors.Is(err, context.Canceled):
+			return
+		default:
+			// E.g. a checkpoint pruned segments under a slow catch-up
+			// (ErrTruncated): drop the link; the follower reconnects and
+			// the new handshake ships a snapshot.
+			log.Warn("replication stream broken", "err", err)
+			fail(err.Error())
+			return
+		}
+		s.setWriteDeadline(conn)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// writeRec serialises one shipped record. The value round-trips
+// exactly ('g', -1 — shortest form that re-parses to the same float),
+// so the follower's log is byte-for-byte replayable.
+func writeRec(w *bufio.Writer, rec wal.StreamRecord) {
+	fmt.Fprintf(w, "REC %d %d %d", rec.LSN, uint8(rec.Op.Kind), rec.Op.Time)
+	for _, c := range rec.Op.Coords {
+		fmt.Fprintf(w, " %d", c)
+	}
+	fmt.Fprintf(w, " %s\n", strconv.FormatFloat(rec.Op.Value, 'g', -1, 64))
+}
+
+// sendSnapshot ships the cube as of the log's end: SNAP header, base64
+// chunks, ENDSNAP. Snapshot and LSN are taken under mu, so the pair is
+// exact — replaying from lsn+1 on top of the snapshot reproduces the
+// primary.
+func (s *server) sendSnapshot(conn net.Conn, w *bufio.Writer) (uint64, error) {
+	var buf bytes.Buffer
+	s.mu.Lock()
+	lsn := s.wal.LastLSN()
+	err := s.cube.Save(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	data := buf.Bytes()
+	fmt.Fprintf(w, "SNAP lsn=%d size=%d\n", lsn, len(data))
+	for off := 0; off < len(data); off += snapChunk {
+		end := min(off+snapChunk, len(data))
+		fmt.Fprintln(w, base64.StdEncoding.EncodeToString(data[off:end]))
+		s.setWriteDeadline(conn)
+		if err := w.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	fmt.Fprintln(w, "ENDSNAP")
+	s.setWriteDeadline(conn)
+	return lsn, w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Follower side: tailing the primary and applying its stream.
+
+// startFollower puts the server in follower mode and starts the
+// replication loop. Called from main before the listener starts, so
+// dispatch never observes a half-initialised repl field.
+func (s *server) startFollower(primary string) {
+	r := &replState{primaryAddr: primary, stop: make(chan struct{})}
+	r.applied.Store(s.walLastLSN())
+	s.repl = r
+	go s.followLoop(r)
+}
+
+// followLoop keeps the replication link alive until promotion:
+// dial, stream, and on any link failure redial after a short pause.
+func (s *server) followLoop(r *replState) {
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if err := s.followOnce(r); err != nil && !r.promoted.Load() {
+			s.log.Warn("replication link lost", "primary", r.primaryAddr, "err", err)
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(replRedialDelay):
+		}
+	}
+}
+
+// followOnce runs one replication session: subscribe from the local
+// log's end and apply the stream until the link breaks or the server
+// is promoted.
+func (s *server) followOnce(r *replState) error {
+	conn, err := net.DialTimeout("tcp", r.primaryAddr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = conn.Close() }() // double-close with the stop watcher is benign
+	// Promotion must not wait out a blocked read: closing the
+	// connection unblocks the scanner immediately.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-r.stop:
+			_ = conn.Close() // unblocking the read is the point
+		case <-done:
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	fmt.Fprintf(w, "REPLICATE FROM %d\n", s.walLastLSN()+1)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(conn)
+	// Snapshot chunks are the longest lines: snapChunk raw bytes, 4/3
+	// base64 expansion, plus slack.
+	sc.Buffer(make([]byte, 0, 64*1024), 2*snapChunk)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(replReadTimeout))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return err
+			}
+			return errors.New("primary closed the replication stream")
+		}
+		if r.promoted.Load() {
+			return nil
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "REC":
+			lsn, op, err := parseRec(fields, s.dims)
+			if err != nil {
+				return err
+			}
+			if err := s.applyShipped(r, lsn, op); err != nil {
+				return err
+			}
+			r.noteFrontier(lsn)
+			fmt.Fprintf(w, "ACK %d\n", lsn)
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		case "PING":
+			if len(fields) == 2 {
+				if lsn, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+					r.noteFrontier(lsn)
+				}
+			}
+		case "SNAP":
+			lsn, err := s.receiveSnapshot(r, fields, sc, conn)
+			if err != nil {
+				return err
+			}
+			s.log.Info("bootstrapped from shipped snapshot", "lsn", lsn, "primary", r.primaryAddr)
+			r.noteFrontier(lsn)
+		case "OK": // stream start marker; position already agreed
+		case "ERR":
+			return fmt.Errorf("primary refused replication: %s", strings.TrimSpace(sc.Text()))
+		default:
+			return fmt.Errorf("unexpected replication line %q", sc.Text())
+		}
+	}
+}
+
+// parseRec decodes "REC <lsn> <kind> <time> <coords...> <value>".
+func parseRec(fields []string, dims int) (uint64, core.Op, error) {
+	if len(fields) != 4+dims+1 {
+		return 0, core.Op{}, fmt.Errorf("malformed REC line: %d fields, want %d", len(fields), 4+dims+1)
+	}
+	lsn, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, core.Op{}, fmt.Errorf("REC lsn: %w", err)
+	}
+	kind, err := strconv.ParseUint(fields[2], 10, 8)
+	if err != nil {
+		return 0, core.Op{}, fmt.Errorf("REC kind: %w", err)
+	}
+	t, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return 0, core.Op{}, fmt.Errorf("REC time: %w", err)
+	}
+	coords := make([]int, dims)
+	for i := range coords {
+		c, err := strconv.Atoi(fields[4+i])
+		if err != nil {
+			return 0, core.Op{}, fmt.Errorf("REC coordinate: %w", err)
+		}
+		coords[i] = c
+	}
+	val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		return 0, core.Op{}, fmt.Errorf("REC value: %w", err)
+	}
+	return lsn, core.Op{Kind: core.OpKind(kind), Time: t, Coords: coords, Value: val}, nil
+}
+
+// applyShipped appends one shipped record to the local log and applies
+// it to the cube, under the same mu that serialises queries — readers
+// always see a cube at an exact LSN boundary.
+func (s *server) applyShipped(r *replState, lsn uint64, op core.Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("follower has no WAL attached")
+	}
+	skipped, err := s.wal.ApplyReplicated(s.cube, lsn, op)
+	if err != nil {
+		return err
+	}
+	if skipped {
+		s.log.Warn("shipped op rejected by cube; skipped to match primary recovery semantics", "lsn", lsn)
+	}
+	r.applied.Store(lsn)
+	s.maybeCheckpointLocked()
+	return nil
+}
+
+// receiveSnapshot handles the SNAP bootstrap: collect the base64
+// payload, replace the local log and cube with the shipped state, and
+// resume the stream (the primary continues from lsn+1 on the same
+// connection).
+func (s *server) receiveSnapshot(r *replState, header []string, sc *bufio.Scanner, conn net.Conn) (uint64, error) {
+	var lsn, size uint64
+	var haveLSN, haveSize bool
+	for _, f := range header[1:] {
+		if v, ok := strings.CutPrefix(f, "lsn="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("SNAP lsn: %w", err)
+			}
+			lsn, haveLSN = n, true
+		}
+		if v, ok := strings.CutPrefix(f, "size="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("SNAP size: %w", err)
+			}
+			size, haveSize = n, true
+		}
+	}
+	if !haveLSN || !haveSize {
+		return 0, fmt.Errorf("malformed SNAP header %q", strings.Join(header, " "))
+	}
+	const maxSnapshot = 1 << 31 // pre-allocation sanity bound, not a protocol limit
+	if size > maxSnapshot {
+		return 0, fmt.Errorf("snapshot header claims %d bytes (limit %d)", size, uint64(maxSnapshot))
+	}
+	var data bytes.Buffer
+	data.Grow(int(size))
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(replReadTimeout))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return 0, err
+			}
+			return 0, errors.New("stream ended inside snapshot")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "ENDSNAP" {
+			break
+		}
+		chunk, err := base64.StdEncoding.DecodeString(line)
+		if err != nil {
+			return 0, fmt.Errorf("snapshot chunk: %w", err)
+		}
+		data.Write(chunk)
+	}
+	if uint64(data.Len()) != size {
+		return 0, fmt.Errorf("snapshot is %d bytes, header said %d", data.Len(), size)
+	}
+	if err := s.installSnapshot(lsn, data.Bytes()); err != nil {
+		return 0, err
+	}
+	r.applied.Store(lsn)
+	return lsn, nil
+}
+
+// installSnapshot replaces the follower's durable state with the
+// shipped snapshot: close the local log, install the snapshot as the
+// checkpoint covering lsn (wal.InstallCheckpoint also removes the
+// stale segments whose implicit LSNs would otherwise mis-number later
+// appends), and re-run recovery so the cube and log positions align
+// with the primary's. Held under mu throughout — recovery after an
+// install replays zero records, so the pause is one snapshot decode.
+func (s *server) installSnapshot(lsn uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("follower has no WAL attached")
+	}
+	if err := s.wal.Close(); err != nil {
+		s.log.Warn("closing log before snapshot install", "err", err)
+	}
+	if err := wal.InstallCheckpoint(s.walDir, lsn, bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("installing shipped checkpoint: %w", err)
+	}
+	cfg := s.cubeCfg
+	cube, log, _, err := s.recoverWAL(func() (*core.Cube, error) { return core.New(cfg) })
+	if err != nil {
+		return fmt.Errorf("recovering from shipped checkpoint: %w", err)
+	}
+	if got := log.LastLSN(); got != lsn {
+		_ = log.Close() // the position mismatch is the actionable error
+		return fmt.Errorf("snapshot install landed at LSN %d, want %d", got, lsn)
+	}
+	s.attachRecoveredLocked(cube, log)
+	return nil
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startReplica builds a durable follower of primaryAddr over its own
+// temp directory and returns the server plus its client address.
+func startReplica(t *testing.T, primaryAddr string) (*server, string) {
+	t.Helper()
+	srv, _ := newDurableServer(t, t.TempDir(), 0)
+	srv.startFollower(primaryAddr)
+	return srv, serveOn(t, srv)
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// statsField extracts one k=v token from a STATS line.
+func statsField(t *testing.T, stats, key string) string {
+	t.Helper()
+	for _, tok := range strings.Fields(stats) {
+		if v, ok := strings.CutPrefix(tok, key+"="); ok {
+			return v
+		}
+	}
+	t.Fatalf("STATS %q has no field %s", stats, key)
+	return ""
+}
+
+func TestReplicaFollowsPrimaryAndAnswersIdentically(t *testing.T) {
+	primary, _ := newDurableServer(t, t.TempDir(), 0)
+	paddr := serveOn(t, primary)
+	follower, faddr := startReplica(t, paddr)
+
+	pc := dial(t, paddr)
+	for i := 0; i < 100; i++ {
+		pc.expect(t, fmt.Sprintf("INS %d %d %d %g", i/5, i%8, (i/3)%8, float64(i%7)+0.25), "OK")
+	}
+	// Deletes only ever touch the latest slice (the paper's append-only
+	// contract); replication must carry them like inserts.
+	for i := 0; i < 20; i++ {
+		pc.expect(t, fmt.Sprintf("DEL 19 %d %d %g", i%8, (i/3)%8, 0.25), "OK")
+	}
+	want := primary.walLastLSN()
+	waitUntil(t, 5*time.Second, "follower catch-up", func() bool {
+		return follower.repl.applied.Load() == want
+	})
+
+	// Identical answers: cube state is a deterministic function of the
+	// op stream, so every query must come back bit-identical.
+	fc := dial(t, faddr)
+	for _, q := range []string{
+		"QRY 0 100 0 0 7 7",
+		"QRY 3 9 1 2 6 6",
+		"QRY 0 0 0 0 7 7",
+		"QRY 7 19 2 0 5 7",
+	} {
+		if p, f := pc.cmd(t, q), fc.cmd(t, q); p != f {
+			t.Fatalf("%s: primary %q != replica %q", q, p, f)
+		}
+	}
+	// And identical cube state in STATS (the op-stream-derived fields;
+	// the win_* latency digests are per-process, not state).
+	ps, fs := pc.cmd(t, "STATS"), fc.cmd(t, "STATS")
+	for _, key := range []string{"slices", "incomplete", "pending", "appended", "ooo"} {
+		if p, f := statsField(t, ps, key), statsField(t, fs, key); p != f {
+			t.Fatalf("STATS %s: primary %q != replica %q", key, p, f)
+		}
+	}
+	if statsField(t, fs, "replica") != "1" {
+		t.Fatalf("replica STATS missing replica=1: %q", fs)
+	}
+	if got := statsField(t, fs, "replica_applied_lsn"); got != fmt.Sprint(want) {
+		t.Fatalf("replica_applied_lsn = %s, want %d", got, want)
+	}
+
+	// Replicas reject client mutations — their cube is written only by
+	// the shipped stream.
+	if got := fc.cmd(t, "INS 1000 0 0 1"); !strings.HasPrefix(got, "ERR read-only replica") {
+		t.Fatalf("replica INS -> %q", got)
+	}
+	// Role probes on both sides.
+	if got := fc.cmd(t, "ROLE"); !strings.HasPrefix(got, "OK role=replica applied_lsn=") ||
+		!strings.Contains(got, "primary="+paddr) {
+		t.Fatalf("replica ROLE -> %q", got)
+	}
+	if got := pc.cmd(t, "ROLE"); !strings.HasPrefix(got, "OK role=primary") ||
+		!strings.Contains(got, "followers=1") {
+		t.Fatalf("primary ROLE -> %q", got)
+	}
+}
+
+func TestReplicaColdStartBootstrapsFromSnapshot(t *testing.T) {
+	primary, _ := newDurableServer(t, t.TempDir(), 0)
+	paddr := serveOn(t, primary)
+	pc := dial(t, paddr)
+	total := 0.0
+	for i := 0; i < 80; i++ {
+		v := float64(i%9) + 1
+		pc.expect(t, fmt.Sprintf("INS %d %d %d %g", i/4, i%8, (i/2)%8, v), "OK")
+		total += v
+	}
+	// Checkpoint rotates and prunes the pre-checkpoint segments, so a
+	// cold follower asking for LSN 1 is behind the retention horizon
+	// and must be served a snapshot.
+	pc.expect(t, "CHECKPOINT", "OK 80")
+	for i := 0; i < 20; i++ {
+		pc.expect(t, fmt.Sprintf("INS %d 0 1 2", 100+i), "OK")
+		total += 2
+	}
+
+	follower, faddr := startReplica(t, paddr)
+	waitUntil(t, 5*time.Second, "snapshot bootstrap + catch-up", func() bool {
+		return follower.repl.applied.Load() == 100 && follower.repl.synced.Load()
+	})
+	fc := dial(t, faddr)
+	fc.expect(t, "QRY 0 1000 0 0 7 7", fmt.Sprintf("%g", total))
+	if got := follower.walLastLSN(); got != 100 {
+		t.Fatalf("follower log ends at LSN %d, want 100 (primary positions adopted)", got)
+	}
+
+	// The stream continues live after the bootstrap on the same link.
+	pc.expect(t, "INS 200 0 0 5", "OK")
+	waitUntil(t, 5*time.Second, "live record after bootstrap", func() bool {
+		return follower.repl.applied.Load() == 101
+	})
+	fc.expect(t, "QRY 0 1000 0 0 7 7", fmt.Sprintf("%g", total+5))
+
+	// The installed state is durable: a restart over the follower's own
+	// directory recovers to the same answers without the primary.
+	follower.shutdown()
+	restarted, _ := newDurableServer(t, follower.walDir, 0)
+	rc := dial(t, serveOn(t, restarted))
+	rc.expect(t, "QRY 0 1000 0 0 7 7", fmt.Sprintf("%g", total+5))
+	restarted.shutdown()
+}
+
+func TestPromotionFencingAndTakeover(t *testing.T) {
+	primary, _ := newDurableServer(t, t.TempDir(), 0)
+	paddr := serveOn(t, primary)
+	follower, faddr := startReplica(t, paddr)
+	pc := dial(t, paddr)
+	for i := 0; i < 50; i++ {
+		pc.expect(t, fmt.Sprintf("INS %d 0 0 1", i), "OK")
+	}
+	waitUntil(t, 5*time.Second, "follower catch-up", func() bool {
+		return follower.repl.applied.Load() == 50
+	})
+
+	fc := dial(t, faddr)
+	// A fence above the applied position means acked writes exist that
+	// this replica never received: promotion must refuse.
+	if got := fc.cmd(t, "PROMOTE 60"); !strings.HasPrefix(got, "ERR promotion fenced") {
+		t.Fatalf("fenced PROMOTE -> %q", got)
+	}
+	if !follower.isReplica() {
+		t.Fatal("refused promotion still flipped the role")
+	}
+	// At the fence: the replica holds everything acked, take over.
+	if got := fc.cmd(t, "PROMOTE 50"); !strings.HasPrefix(got, "OK role=primary last_lsn=50") {
+		t.Fatalf("PROMOTE -> %q", got)
+	}
+	// Idempotent for a retrying proxy.
+	if got := fc.cmd(t, "PROMOTE 50"); !strings.HasPrefix(got, "OK role=primary") {
+		t.Fatalf("repeated PROMOTE -> %q", got)
+	}
+	// The promoted server accepts writes and extends the same log.
+	fc.expect(t, "INS 1000 2 2 7", "OK")
+	if got := follower.walLastLSN(); got != 51 {
+		t.Fatalf("promoted log ends at %d, want 51", got)
+	}
+	fc.expect(t, "QRY 1000 1000 0 0 7 7", "7")
+	if got := fc.cmd(t, "ROLE"); !strings.HasPrefix(got, "OK role=primary") {
+		t.Fatalf("promoted ROLE -> %q", got)
+	}
+}
+
+func TestSemiSyncHoldsAckUntilFollowerApplies(t *testing.T) {
+	primary, _ := newDurableServer(t, t.TempDir(), 0)
+	primary.replMinAcks = 1
+	primary.replAckTimeout = 300 * time.Millisecond
+	paddr := serveOn(t, primary)
+	pc := dial(t, paddr)
+
+	// No follower connected: the write lands locally but the OK cannot
+	// be given — the client learns the write is indeterminate.
+	if got := pc.cmd(t, "INS 1 0 0 1"); !strings.Contains(got, "replication timeout") {
+		t.Fatalf("semi-sync INS without followers -> %q", got)
+	}
+
+	follower, _ := startReplica(t, paddr)
+	waitUntil(t, 5*time.Second, "follower catch-up", func() bool {
+		return follower.repl.applied.Load() == 1
+	})
+	// With a live follower the ack arrives and the OK goes out.
+	pc.expect(t, "INS 2 0 0 1", "OK")
+	if follower.repl.applied.Load() != 2 && !waitApplied(follower, 2) {
+		t.Fatal("acked write not applied on the follower")
+	}
+}
+
+// waitApplied polls briefly for the follower to reach lsn.
+func waitApplied(s *server, lsn uint64) bool {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.repl.applied.Load() >= lsn {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

@@ -21,6 +21,11 @@
 //	                                      retained trace, END
 //	VERSION                            -> OK histserve rev=<git-rev> go=<ver>
 //	SEAL [<time>]                      -> OK sealed_through=<t> | ERR <msg>
+//	ROLE                               -> OK role=primary last_lsn=<n> followers=<n>
+//	                                      | OK role=replica applied_lsn=<n> lag_lsn=<n> primary=<addr>
+//	PROMOTE [<min_lsn>]                -> OK role=primary ... | ERR promotion fenced ...
+//	REPLICATE FROM <lsn>               -> hijacks the connection for WAL
+//	                                      shipping (see repl.go)
 //	STATS                              -> slices=<n> incomplete=<n> pending=<n> appended=<n> ...
 //	SAVE <path>                        -> OK | ERR <msg> (cube snapshot)
 //	CHECKPOINT                         -> OK <lsn> | ERR <msg> (durable mode only)
@@ -95,6 +100,19 @@
 // fault injector (internal/fault) on the WAL segment files and the
 // dispatch loop for chaos runs; see that package for the spec grammar.
 //
+// Replication: start with -follow <primary> (plus -data-dir) to run
+// as a replica — the server tails the primary's WAL over a REPLICATE
+// connection, applies every acked record to its own log and cube
+// (answers are bit-identical to the primary's, since cube state is a
+// deterministic function of the op stream), rejects client mutations,
+// and reports its positions via ROLE, STATS (replica=1,
+// replica_applied_lsn, replica_lag_lsn) and /readyz. A follower whose
+// position fell behind the primary's checkpoint retention is
+// bootstrapped automatically from a shipped snapshot. PROMOTE turns a
+// follower into a primary during failover; -repl-min-acks N makes a
+// primary hold each mutation's OK until N followers acknowledged it
+// (semi-synchronous replication), so failover loses no acked write.
+//
 // Sharding support: SEAL <t> (or bare SEAL for everything) makes all
 // times at or below t read-only — mutations into the sealed range get
 // "ERR sealed: ..." while queries keep serving. A sharding proxy
@@ -153,7 +171,7 @@ var errInternal = errors.New("internal error (recovered panic; see server log)")
 // commands lists every protocol verb, used to pre-register one
 // labelled request/error counter per command ("other" catches unknown
 // verbs so a misbehaving client cannot grow the label set unbounded).
-var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "SAVE", "CHECKPOINT", "SEAL", "VERSION", "QUIT", "other"}
+var commands = []string{"INS", "DEL", "QRY", "EXPLAIN", "SLOWLOG", "STATS", "SAVE", "CHECKPOINT", "SEAL", "VERSION", "ROLE", "PROMOTE", "REPLICATE", "QUIT", "other"}
 
 // server is one histserve instance.
 //
@@ -179,6 +197,23 @@ type server struct {
 	// it is applied, and checkpointEvery drives automatic snapshots.
 	wal             *wal.Log // guarded by mu
 	checkpointEvery int64    // guarded by mu
+
+	// walDir/walOpts are retained after enableDurability (startup-only
+	// from then on) so a follower can re-run recovery after installing a
+	// snapshot shipped by its primary; cubeCfg rebuilds a fresh cube for
+	// that recovery.
+	walDir  string
+	walOpts wal.Options
+	cubeCfg core.Config
+
+	// Replication (see repl.go): repl is non-nil in follower mode
+	// (-follow) and set before the listener starts; hub aggregates
+	// follower acknowledgements on the primary side so mutations can
+	// wait for -repl-min-acks replicas before answering OK.
+	repl           *replState
+	hub            *replHub
+	replMinAcks    int           // startup-only, like the governance knobs
+	replAckTimeout time.Duration // startup-only
 
 	// slow retains the worst query traces at or above its threshold;
 	// recent is a ring of the last finished request traces regardless of
@@ -267,6 +302,9 @@ func main() {
 		maxConn = flag.Int64("max-conns", 256, "open client connections accepted at once; 0 = unlimited")
 		probeIv = flag.Duration("degraded-probe-every", 2*time.Second, "while read-only, let one mutation through per interval to probe storage recovery")
 		sealArg = flag.String("seal-through", "", "reject mutations with time at or below this value (historic-shard demotion; the SEAL command raises it at runtime); empty seals nothing")
+		follow  = flag.String("follow", "", "run as a replica of the given primary histserve address: apply its WAL stream and reject client mutations until PROMOTE (requires -data-dir)")
+		minAcks = flag.Int("repl-min-acks", 0, "followers that must acknowledge a mutation before the client sees OK (semi-synchronous replication); 0 = asynchronous")
+		ackTO   = flag.Duration("repl-ack-timeout", 2*time.Second, "how long a mutation waits for -repl-min-acks follower acknowledgements before answering ERR (the write is then indeterminate, not failed)")
 		fspec   = flag.String("fault-spec", "", "fault-injection spec for chaos testing (see internal/fault); empty disables")
 		fseed   = flag.Int64("fault-seed", 1, "seed for probabilistic -fault-spec rules")
 		perfWin = flag.Duration("perf-window", 10*time.Second, "sliding window for per-command latency/throughput digests (STATS, /debug/perf, histserve_cmd_latency_* metrics)")
@@ -361,6 +399,16 @@ func main() {
 			"skipped_ops", res.SkippedOps, "torn_tail", res.TornTail,
 			"checkpoints_skipped", res.CheckpointsSkipped)
 	}
+	srv.replMinAcks = *minAcks
+	srv.replAckTimeout = *ackTO
+	if *follow != "" {
+		if *dataDir == "" {
+			logger.Error("-follow requires -data-dir (the replica keeps its own durable log)")
+			os.Exit(1)
+		}
+		srv.startFollower(*follow)
+		logger.Info("follower mode", "primary", *follow)
+	}
 	srv.markReady()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -410,20 +458,52 @@ func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery 
 			return inj.WrapFile("wal", f)
 		}
 	}
+	s.walDir, s.walOpts = dir, opts
 	s.mu.Lock()
 	fresh := s.cube // still untouched; captured under mu so Recover's callback needs no lock
+	s.checkpointEvery = checkpointEvery
 	s.mu.Unlock()
-	cube, log, res, err := wal.Recover(dir, opts, func() (*core.Cube, error) {
+	// Recovery runs without mu so the metrics listener stays live during
+	// a long replay (its state callbacks take mu at scrape time).
+	cube, log, res, err := s.recoverWAL(func() (*core.Cube, error) {
 		return fresh, nil
 	})
 	if err != nil {
 		return res, err
 	}
-	shape := cube.Shape()
-	if len(shape) != s.dims {
-		_ = log.Close() // the dimension mismatch is the actionable error
-		return res, fmt.Errorf("recovered cube has %d dimensions, -dims specifies %d", len(shape), s.dims)
+	// Registered through an indirection, not on the log itself: a
+	// follower installing a shipped snapshot swaps the log, and the
+	// gauges must follow the swap.
+	wal.RegisterStateMetricsFunc(s.reg, func() *wal.Log {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.wal
+	})
+	s.mu.Lock()
+	s.attachRecoveredLocked(cube, log)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// recoverWAL recovers a cube+log pair from the durable directory
+// captured by enableDurability, enforcing the -dims contract. Shared
+// by startup recovery and a follower's snapshot re-recovery.
+func (s *server) recoverWAL(fallback func() (*core.Cube, error)) (*core.Cube, *wal.Log, wal.RecoverResult, error) {
+	cube, log, res, err := wal.Recover(s.walDir, s.walOpts, fallback)
+	if err != nil {
+		return nil, nil, res, err
 	}
+	if shape := cube.Shape(); len(shape) != s.dims {
+		_ = log.Close() // the dimension mismatch is the actionable error
+		return nil, nil, res, fmt.Errorf("recovered cube has %d dimensions, -dims specifies %d", len(shape), s.dims)
+	}
+	return cube, log, res, nil
+}
+
+// attachRecoveredLocked wires a recovered cube+log into the server:
+// instruments, the durable op sink, and the serving fields. The caller
+// holds mu.
+func (s *server) attachRecoveredLocked(cube *core.Cube, log *wal.Log) {
 	cube.SetInstruments(s.ins)
 	cube.SetOpSink(func(op core.Op) error {
 		if _, err := log.Append(op); err != nil {
@@ -431,14 +511,9 @@ func (s *server) enableDurability(dir string, opts wal.Options, checkpointEvery 
 		}
 		return nil
 	})
-	log.RegisterStateMetrics(s.reg)
-	s.mu.Lock()
 	s.cube = cube
 	s.wal = log
-	s.checkpointEvery = checkpointEvery
-	s.shape = shape
-	s.mu.Unlock()
-	return res, nil
+	s.shape = cube.Shape()
 }
 
 // shutdown writes a final checkpoint and closes the WAL and cube. It
@@ -503,7 +578,8 @@ func newServer(dimsArg, opArg string, ooo bool, perfWindow time.Duration) (*serv
 	default:
 		return nil, fmt.Errorf("unknown operator %q", opArg)
 	}
-	cube, err := core.New(core.Config{Dims: ds, Operator: op, BufferOutOfOrder: ooo})
+	cfg := core.Config{Dims: ds, Operator: op, BufferOutOfOrder: ooo}
+	cube, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -512,8 +588,10 @@ func newServer(dimsArg, opArg string, ooo bool, perfWindow time.Duration) (*serv
 	}
 	s := &server{
 		cube:       cube,
+		cubeCfg:    cfg,
 		dims:       len(ds),
 		shape:      cube.Shape(),
+		hub:        newReplHub(),
 		reg:        obs.NewRegistry(),
 		log:        slog.Default(),
 		slow:       trace.NewSlowLog(32, 10*time.Millisecond),
@@ -591,6 +669,19 @@ func (s *server) serveMetrics(addr string) (net.Listener, error) {
 		if s.degraded.Load() {
 			msg, _ := s.degradedMsg.Load().(string)
 			http.Error(w, "degraded: "+msg, http.StatusServiceUnavailable)
+			return
+		}
+		// A replica is ready once it has caught up to its primary's
+		// frontier at least once; until then routing reads to it would
+		// serve answers from before the bootstrap finished.
+		if s.isReplica() {
+			r := s.repl
+			if !r.synced.Load() {
+				http.Error(w, fmt.Sprintf("replica syncing: applied_lsn=%d replica_lag_lsn=%d",
+					r.applied.Load(), r.lag()), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintf(w, "ok replica_lag_lsn=%d\n", r.lag())
 			return
 		}
 		fmt.Fprintln(w, "ok")
@@ -698,6 +789,12 @@ func (s *server) handle(conn net.Conn) {
 		// request's root span adopts it so one trace_id correlates the
 		// query across the fleet's logs and /debug feeds.
 		tid, stripped := trace.CutRequestID(line)
+		// REPLICATE hijacks the connection for WAL shipping: from here
+		// on it speaks the replication protocol, not request/response.
+		if f := strings.Fields(stripped); len(f) > 0 && strings.EqualFold(f[0], "REPLICATE") {
+			s.serveReplication(conn, sc, w, stripped)
+			return
+		}
 		resp, quit := s.safeDispatch(tid, stripped)
 		if strings.HasPrefix(resp, "ERR") {
 			errs++
@@ -815,6 +912,28 @@ func (s *server) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 			return "ERR VERSION takes no arguments", false
 		}
 		return fmt.Sprintf("OK histserve rev=%s dirty=%t go=%s", s.meta.GitRev, s.meta.GitDirty, s.meta.GoVersion), false
+	case "ROLE":
+		if len(fields) != 1 {
+			return "ERR ROLE takes no arguments", false
+		}
+		return s.roleLine(), false
+	case "PROMOTE":
+		// PROMOTE [<min_lsn>] — failover: turn this follower into a
+		// primary. The optional fence refuses the promotion when this
+		// replica has applied less than min_lsn (another replica holds
+		// more acked history and must take over instead).
+		if len(fields) > 2 {
+			return "ERR PROMOTE takes at most one argument: PROMOTE [<min_lsn>]", false
+		}
+		var minLSN uint64
+		if len(fields) == 2 {
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return "ERR bad fence LSN: " + err.Error(), false
+			}
+			minLSN = v
+		}
+		return s.promote(minLSN), false
 	case "SEAL":
 		// SEAL <t> raises the seal boundary to t; bare SEAL seals the
 		// whole timeline (full read-only demotion). Monotonic: sealing
@@ -851,6 +970,14 @@ func (s *server) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 		tail := ""
 		if sealed := s.sealedThrough.Load(); sealed != math.MinInt64 {
 			tail = fmt.Sprintf(" sealed_through=%d", sealed)
+		}
+		// Follower mode reports its replication positions; the fields
+		// appear only on replicas, so a proxy summing primary STATS
+		// never sees them.
+		if s.isReplica() {
+			r := s.repl
+			tail += fmt.Sprintf(" replica=1 replica_applied_lsn=%d replica_lag_lsn=%d",
+				r.applied.Load(), r.lag())
 		}
 		tail += " git_rev=" + s.meta.GitRev
 		return fmt.Sprintf("slices=%d incomplete=%d pending=%d appended=%d "+
@@ -906,6 +1033,9 @@ func (s *server) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 		if resp := s.badCoord(coords); resp != "" {
 			return resp, false
 		}
+		if resp := s.replicaReject(); resp != "" {
+			return resp, false
+		}
 		if sealed := s.sealedThrough.Load(); nums[0] <= sealed {
 			return fmt.Sprintf("ERR sealed: time %d is in the sealed range (sealed through %d; this history is read-only)",
 				nums[0], sealed), false
@@ -920,11 +1050,21 @@ func (s *server) dispatch(tid trace.ID, line string) (resp string, quit bool) {
 			root = trace.New("histserve.delete")
 		}
 		root.SetTraceID(tid)
-		err = s.mutate(cmd, root, nums[0], coords, val)
+		lsn, err := s.mutate(cmd, root, nums[0], coords, val)
 		root.End()
 		s.observe(line, root)
 		if err != nil {
 			return errResponse(err), false
+		}
+		// Semi-synchronous replication: the write is durable and applied
+		// locally; hold the OK until enough followers have appended and
+		// applied it too, so an acked write survives losing this primary.
+		// The wait runs after mu is released — followers never contend
+		// with the mutation they are acknowledging.
+		if s.replMinAcks > 0 && lsn > 0 {
+			if err := s.hub.WaitAcked(lsn, s.replMinAcks, s.replAckTimeout); err != nil {
+				return "ERR " + err.Error(), false
+			}
 		}
 		return "OK", false
 	case "QRY":
@@ -1073,8 +1213,10 @@ func (s *server) queryLocked(root *trace.Span, rng core.Range) (v float64, err e
 // logged with the request's span tree and surfaces as ERR internal. A
 // successful mutation doubles as the recovery probe that clears
 // degraded mode; a storage failure (WAL append exhausting its retries,
-// or out-of-space) enters it.
-func (s *server) mutate(cmd string, root *trace.Span, t int64, coords []int, val float64) (err error) {
+// or out-of-space) enters it. On success lsn is the WAL position the
+// mutation landed at (0 without durability) — what the semi-sync ack
+// wait keys on.
+func (s *server) mutate(cmd string, root *trace.Span, t int64, coords []int, val float64) (lsn uint64, err error) {
 	ctx, cancel := s.requestCtx()
 	defer cancel()
 	ctx = trace.NewContext(ctx, root)
@@ -1102,12 +1244,15 @@ func (s *server) mutate(cmd string, root *trace.Span, t int64, coords []int, val
 	}
 	switch {
 	case err == nil:
+		if s.wal != nil {
+			lsn = s.wal.LastLSN()
+		}
 		s.maybeCheckpointLocked()
 		s.clearDegraded()
 	case isStorageFailure(err):
 		s.setDegraded(err)
 	}
-	return err
+	return lsn, err
 }
 
 // statsSnapshot reads the cube's counters under mu.

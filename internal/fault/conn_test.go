@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// connPair returns the two ends of an in-memory connection.
+func connPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return c1, c2
+}
+
+func TestWrapConnDropSeversBothEnds(t *testing.T) {
+	inj := MustParse("link.write:drop@2", 1)
+	local, remote := connPair(t)
+	c := inj.WrapConn("link", local)
+
+	echoed := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		if _, err := remote.Read(buf); err != nil {
+			echoed <- err
+			return
+		}
+		_, err := remote.Read(buf) // second read must see the teardown
+		echoed <- err
+	}()
+
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := c.Write([]byte("ping")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: %v, want injected drop", err)
+	}
+	// The drop closed the underlying conn, so the peer unblocks with an
+	// error rather than hanging.
+	select {
+	case err := <-echoed:
+		if err == nil {
+			t.Fatal("peer read succeeded after drop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer still blocked after drop")
+	}
+	if _, err := c.Write([]byte("ping")); err == nil {
+		t.Fatal("write on dropped conn succeeded")
+	}
+}
+
+func TestWrapConnReadDropAndStall(t *testing.T) {
+	inj := MustParse("link.read:drop@1", 2)
+	local, remote := connPair(t)
+	c := inj.WrapConn("link", local)
+	go func() { remote.Write([]byte("x")) }()
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read: %v, want injected drop", err)
+	}
+
+	// stall adds latency but completes the I/O.
+	var slept time.Duration
+	inj2 := MustParse("link.read:stall=40ms", 3)
+	inj2.sleep = func(d time.Duration) { slept += d }
+	l2, r2 := connPair(t)
+	c2 := inj2.WrapConn("link", l2)
+	go func() { r2.Write([]byte("y")) }()
+	buf := make([]byte, 1)
+	n, err := c2.Read(buf)
+	if err != nil || n != 1 || buf[0] != 'y' {
+		t.Fatalf("stalled read: n=%d err=%v buf=%q", n, err, buf[:n])
+	}
+	if slept != 40*time.Millisecond {
+		t.Fatalf("stall slept %v, want 40ms", slept)
+	}
+}
+
+func TestParseConnKinds(t *testing.T) {
+	if _, err := Parse("a.read:drop@3;b.write:stall=5ms%0.5", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("a.read:stall=", 1); err == nil {
+		t.Fatal("empty stall duration accepted")
+	}
+	if _, err := Parse("a.read:stall=-5ms", 1); err == nil {
+		t.Fatal("negative stall duration accepted")
+	}
+}

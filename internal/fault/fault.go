@@ -13,6 +13,7 @@
 //	site     := "wal.write" | "wal.sync" | "pager.load" | "pager.store"
 //	            | "pager.sync" | "serve.dispatch" | ...   (free-form)
 //	kind     := "err" | "nospace" | "short" | "panic" | "slow=<dur>"
+//	            | "drop" | "stall=<dur>"
 //	modifier := "@N"     fire on the Nth operation at the site (1-based)
 //	          | "@N+"    fire on the Nth and every later operation
 //	          | "%P"     fire each operation with probability P in (0,1]
@@ -31,6 +32,15 @@
 //	pager.load:err%0.01x3           1% of page loads fail, 3 at most
 //	serve.dispatch:panic@2          the 2nd request panics
 //	wal.sync:slow=5ms%0.5           half of all fsyncs take +5ms
+//	shard0.read:drop@3              the 3rd conn read tears the link down
+//	shard1.write:stall=50ms%0.2     a fifth of conn writes stall +50ms
+//
+// The connection-level kinds model network flakiness rather than disk
+// failure: "drop" severs the wrapped connection (the peer sees a
+// reset-like error mid-exchange) and "stall=<dur>" freezes an
+// individual read or write, the shapes that exercise reconnect,
+// hedging and breaker logic in the shard client and the replication
+// link.
 //
 // The wrapper interfaces (File, Backend) are structural copies of
 // wal.SegmentFile and pager.Backend rather than imports: wal's and
@@ -42,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"strconv"
 	"strings"
 	"sync"
@@ -70,6 +81,8 @@ const (
 	kindShort
 	kindPanic
 	kindSlow
+	kindDrop
+	kindStall
 )
 
 // rule is one parsed fault clause.
@@ -85,11 +98,13 @@ type rule struct {
 }
 
 // Outcome is what one Check decided: an error to return (Torn asks a
-// write wrapper to persist a partial prefix first) and extra latency
-// to add. Panic-kind rules do not return — Check panics.
+// write wrapper to persist a partial prefix first, Drop asks a
+// connection wrapper to sever the link) and extra latency to add.
+// Panic-kind rules do not return — Check panics.
 type Outcome struct {
 	Err   error
 	Torn  bool
+	Drop  bool
 	Delay time.Duration
 }
 
@@ -177,8 +192,17 @@ func parseRule(clause string) (*rule, error) {
 		}
 		r.kind = kindSlow
 		r.delay = d
+	case kindTok == "drop":
+		r.kind = kindDrop
+	case strings.HasPrefix(kindTok, "stall="):
+		d, err := time.ParseDuration(kindTok[len("stall="):])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("fault: rule %q has a bad stall duration", clause)
+		}
+		r.kind = kindStall
+		r.delay = d
 	default:
-		return nil, fmt.Errorf("fault: rule %q has unknown kind %q (want err, nospace, short, panic or slow=<dur>)", clause, kindTok)
+		return nil, fmt.Errorf("fault: rule %q has unknown kind %q (want err, nospace, short, panic, slow=<dur>, drop or stall=<dur>)", clause, kindTok)
 	}
 	for mods != "" {
 		introducer := mods[0]
@@ -276,6 +300,11 @@ func (i *Injector) Check(site string) Outcome {
 		case kindPanic:
 			panic(fmt.Sprintf("fault: injected panic at %s (op %d)", site, n))
 		case kindSlow:
+			out.Delay += r.delay
+		case kindDrop:
+			out.Drop = true
+			out.Err = fmt.Errorf("%w: connection dropped at %s (op %d)", ErrInjected, site, n)
+		case kindStall:
 			out.Delay += r.delay
 		}
 	}
@@ -457,3 +486,45 @@ func (fb *faultBackend) Sync() error {
 }
 
 func (fb *faultBackend) Close() error { return fb.b.Close() }
+
+// WrapConn interposes the injector on a network connection: Read
+// checks site prefix+".read", Write prefix+".write". A drop outcome
+// closes the underlying connection before returning its error, so the
+// peer observes the teardown too — the closest a test gets to a cable
+// pull. Close and the deadline methods pass through.
+func (i *Injector) WrapConn(prefix string, c net.Conn) net.Conn {
+	if i == nil {
+		return c
+	}
+	return &faultConn{Conn: c, inj: i, prefix: prefix}
+}
+
+type faultConn struct {
+	net.Conn
+	inj    *Injector
+	prefix string
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	out := fc.inj.Check(fc.prefix + ".read")
+	fc.inj.wait(out.Delay)
+	if out.Drop {
+		_ = fc.Conn.Close()
+	}
+	if out.Err != nil {
+		return 0, out.Err
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	out := fc.inj.Check(fc.prefix + ".write")
+	fc.inj.wait(out.Delay)
+	if out.Drop {
+		_ = fc.Conn.Close()
+	}
+	if out.Err != nil {
+		return 0, out.Err
+	}
+	return fc.Conn.Write(p)
+}

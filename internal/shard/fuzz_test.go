@@ -31,6 +31,12 @@ func FuzzShardMapParse(f *testing.F) {
 		"a=0--99,b=100-",          // double dash
 		",,a=0-,,",                // empty parts
 		"a=0-9223372036854775807", // Hi == Open written explicitly
+		"p1|r1=0-99,p2|r2=100-",   // replica sets
+		"p|r1|r2=0-",              // two replicas
+		"p|=0-",                   // empty replica member
+		"|p=0-",                   // empty primary member
+		"p|p=0-",                  // duplicate member within a set
+		"a|b=0-99,b=100-",         // replica duplicated as another primary
 	} {
 		f.Add(seed)
 	}
@@ -47,13 +53,15 @@ func FuzzShardMapParse(f *testing.F) {
 		// Accepted maps must hold the invariants New promises.
 		seen := make(map[string]bool, len(shards))
 		for i, s := range shards {
-			if s.Addr == "" {
-				t.Fatalf("Parse(%q): shard %d has empty addr", spec, i)
+			for _, addr := range s.Members() {
+				if addr == "" {
+					t.Fatalf("Parse(%q): shard %d has an empty member addr", spec, i)
+				}
+				if seen[addr] {
+					t.Fatalf("Parse(%q): duplicate addr %q", spec, addr)
+				}
+				seen[addr] = true
 			}
-			if seen[s.Addr] {
-				t.Fatalf("Parse(%q): duplicate addr %q", spec, s.Addr)
-			}
-			seen[s.Addr] = true
 			if s.Range.Hi != Open && s.Range.Hi < s.Range.Lo {
 				t.Fatalf("Parse(%q): inverted range %s", spec, s.Range)
 			}
@@ -84,13 +92,15 @@ func FuzzShardMapParse(f *testing.F) {
 }
 
 // anyAddrHasMeta reports whether an address embeds spec syntax (',',
-// '=', or whitespace trimmed by Parse) that the canonical rendering
-// cannot re-quote.
+// '=', the '|' member separator, or whitespace trimmed by Parse) that
+// the canonical rendering cannot re-quote.
 func anyAddrHasMeta(shards []Shard) bool {
 	for _, s := range shards {
-		if strings.ContainsAny(s.Addr, ",=") ||
-			strings.TrimSpace(s.Addr) != s.Addr {
-			return true
+		for _, addr := range s.Members() {
+			if strings.ContainsAny(addr, ",=|") ||
+				strings.TrimSpace(addr) != addr {
+				return true
+			}
 		}
 	}
 	return false

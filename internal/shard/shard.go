@@ -54,10 +54,21 @@ func (r Range) String() string {
 	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
 }
 
-// Shard is one backend server owning a time range.
+// Shard is one replica set owning a time range: the primary at Addr
+// (which takes the writes) plus zero or more replicas kept in sync by
+// WAL shipping. Reads may go to any member — replicas replay the
+// primary's totally ordered op stream, so every member answers
+// bit-identically — and on primary failure the proxy promotes the
+// most-caught-up replica.
 type Shard struct {
-	Addr  string
-	Range Range
+	Addr     string   // primary (initial write target)
+	Replicas []string // follower addresses, may be empty
+	Range    Range
+}
+
+// Members returns every address in the replica set, primary first.
+func (s Shard) Members() []string {
+	return append([]string{s.Addr}, s.Replicas...)
 }
 
 // Map is an immutable, ordered shard map. Construct with New or Parse;
@@ -69,6 +80,10 @@ type Map struct {
 // Parse builds a Map from a spec string:
 //
 //	addr=lo-hi,addr=lo-hi,...,addr=lo-
+//
+// Each addr may be a '|'-separated replica set, primary first:
+//
+//	primary|replica1|replica2=lo-hi
 //
 // Ranges are inclusive, must ascend contiguously (each Lo is the
 // previous Hi + 1) and exactly the last must be open-ended ("lo-"): the
@@ -102,27 +117,35 @@ func Parse(spec string) (*Map, error) {
 				return nil, fmt.Errorf("shard %q: bad range end %q (non-negative integer or empty for open)", part, hiStr)
 			}
 		}
-		shards = append(shards, Shard{Addr: addr, Range: Range{Lo: lo, Hi: hi}})
+		members := strings.Split(addr, "|")
+		var reps []string
+		if len(members) > 1 {
+			reps = members[1:]
+		}
+		shards = append(shards, Shard{Addr: members[0], Replicas: reps, Range: Range{Lo: lo, Hi: hi}})
 	}
 	return New(shards)
 }
 
 // New validates and freezes a shard list into a Map. The ranges must
 // be sorted ascending, contiguous (no gaps, no overlaps), with exactly
-// the last range open-ended; addresses must be unique and non-empty.
+// the last range open-ended; member addresses (primaries and replicas
+// alike) must be unique and non-empty.
 func New(shards []Shard) (*Map, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard map is empty")
 	}
 	seen := make(map[string]bool, len(shards))
 	for i, s := range shards {
-		if s.Addr == "" {
-			return nil, fmt.Errorf("shard %d has an empty address", i)
+		for _, addr := range s.Members() {
+			if addr == "" {
+				return nil, fmt.Errorf("shard %d has an empty member address", i)
+			}
+			if seen[addr] {
+				return nil, fmt.Errorf("shard address %q appears twice", addr)
+			}
+			seen[addr] = true
 		}
-		if seen[s.Addr] {
-			return nil, fmt.Errorf("shard address %q appears twice", s.Addr)
-		}
-		seen[s.Addr] = true
 		if s.Range.Hi != Open && s.Range.Hi < s.Range.Lo {
 			return nil, fmt.Errorf("shard %s: range %s is inverted", s.Addr, s.Range)
 		}
@@ -159,7 +182,7 @@ func (m *Map) Hot() Shard { return m.shards[len(m.shards)-1] }
 func (m *Map) String() string {
 	parts := make([]string, len(m.shards))
 	for i, s := range m.shards {
-		parts[i] = s.Addr + "=" + s.Range.String()
+		parts[i] = strings.Join(s.Members(), "|") + "=" + s.Range.String()
 	}
 	return strings.Join(parts, ",")
 }
@@ -230,6 +253,24 @@ type Result struct {
 	Legs     int
 	Covered  []Range // coalesced time ranges the answer covers
 	Missing  []Leg   // failed legs, in map order
+
+	// CoveredSpan/TotalSpan measure the answered and requested time
+	// spans (in timestamps, as float64 so an open-ended hot-range leg
+	// cannot overflow the sum). Coverage() derives the fraction.
+	CoveredSpan float64
+	TotalSpan   float64
+}
+
+// Coverage returns the fraction of the requested time span the merged
+// value covers: 1 for a complete answer (including the zero-leg case —
+// an empty route covers all of nothing), less when legs failed.
+// Dashboards alert on this; the wire protocol carries it on PARTIAL
+// replies as coverage=<frac>.
+func (r Result) Coverage() float64 {
+	if r.TotalSpan <= 0 {
+		return 1
+	}
+	return r.CoveredSpan / r.TotalSpan
 }
 
 // Merge folds per-shard partials into one Result. The invertible-
@@ -242,12 +283,15 @@ func Merge(parts []Partial) Result {
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Leg.Index < ordered[j].Leg.Index })
 	res := Result{Complete: true, Legs: len(ordered)}
 	for _, p := range ordered {
+		span := float64(p.Leg.TimeHi-p.Leg.TimeLo) + 1
+		res.TotalSpan += span
 		if p.Err != nil {
 			res.Complete = false
 			res.Missing = append(res.Missing, p.Leg)
 			continue
 		}
 		res.Value += p.Value
+		res.CoveredSpan += span
 		res.Covered = appendCoalesced(res.Covered, p.Leg.Range())
 	}
 	return res

@@ -29,6 +29,32 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseReplicaSets(t *testing.T) {
+	spec := "p1|r1=0-99,p2|r2a|r2b=100-"
+	m := mustParse(t, spec)
+	shards := m.Shards()
+	if shards[0].Addr != "p1" || len(shards[0].Replicas) != 1 || shards[0].Replicas[0] != "r1" {
+		t.Fatalf("shard 0 = %+v, want primary p1 + replica r1", shards[0])
+	}
+	if got := shards[1].Members(); len(got) != 3 || got[0] != "p2" || got[1] != "r2a" || got[2] != "r2b" {
+		t.Fatalf("shard 1 members = %v", got)
+	}
+	if got := m.String(); got != spec {
+		t.Fatalf("String() = %q, want %q", got, spec)
+	}
+	// Plain specs stay replica-free.
+	if s := mustParse(t, "a=0-").Shards()[0]; len(s.Replicas) != 0 {
+		t.Fatalf("plain spec grew replicas: %+v", s)
+	}
+	// Member addresses share one uniqueness namespace, and every member
+	// must be non-empty.
+	for _, bad := range []string{"p|p=0-", "p|r=0-99,r=100-", "p|=0-", "|p=0-"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid replica set", bad)
+		}
+	}
+}
+
 func TestParseAddrWithEquals(t *testing.T) {
 	// IPv6-ish or option-laden addresses: split on the LAST '='.
 	m := mustParse(t, "host=a=0-9,host=b=10-")
@@ -203,6 +229,26 @@ func TestMergeEmpty(t *testing.T) {
 	}
 	if FormatRanges(res.Covered) != "none" || FormatMissing(res.Missing) != "none" {
 		t.Fatalf("empty formats = %q / %q, want none/none", FormatRanges(res.Covered), FormatMissing(res.Missing))
+	}
+}
+
+func TestMergeCoverageFraction(t *testing.T) {
+	legs := mustParse(t, "a=0-99,b=100-199,c=200-").Route(0, 399)
+	full := Merge([]Partial{{Leg: legs[0], Value: 1}, {Leg: legs[1], Value: 2}, {Leg: legs[2], Value: 3}})
+	if got := full.Coverage(); got != 1 {
+		t.Fatalf("complete coverage = %v, want 1", got)
+	}
+	// One failed leg of 100 timestamps out of 400 requested: 75%.
+	part := Merge([]Partial{
+		{Leg: legs[0], Value: 1},
+		{Leg: legs[1], Err: errors.New("down")},
+		{Leg: legs[2], Value: 3},
+	})
+	if got := part.Coverage(); got != 0.75 {
+		t.Fatalf("partial coverage = %v, want 0.75", got)
+	}
+	if Merge(nil).Coverage() != 1 {
+		t.Fatal("empty merge must report full coverage")
 	}
 }
 

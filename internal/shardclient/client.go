@@ -59,6 +59,15 @@ type Options struct {
 	// MaxLineBytes caps one response line; 0 selects 1 MiB.
 	MaxLineBytes int
 
+	// DialFault, when non-nil, is consulted before every fresh dial; a
+	// non-nil error fails that dial attempt. It is the fault-injection
+	// hook for connection-level chaos (internal/fault wires its Check
+	// here without shardclient importing it back).
+	DialFault func() error
+	// WrapConn, when non-nil, wraps every freshly dialed connection —
+	// the hook for injecting drop/stall faults at conn read/write sites.
+	WrapConn func(net.Conn) net.Conn
+
 	// now replaces time.Now in the breaker (tests).
 	now func() time.Time
 }
@@ -197,6 +206,11 @@ func (c *Client) get(ctx context.Context) (*wire, bool, error) {
 	}
 	var conn net.Conn
 	err := c.opts.DialRetry.Do("shardclient.dial", func() error {
+		if f := c.opts.DialFault; f != nil {
+			if ferr := f(); ferr != nil {
+				return ferr
+			}
+		}
 		d := net.Dialer{Timeout: c.opts.DialTimeout}
 		var derr error
 		conn, derr = d.DialContext(ctx, "tcp", c.addr)
@@ -204,6 +218,9 @@ func (c *Client) get(ctx context.Context) (*wire, bool, error) {
 	})
 	if err != nil {
 		return nil, false, fmt.Errorf("dial shard %s: %w", c.addr, err)
+	}
+	if c.opts.WrapConn != nil {
+		conn = c.opts.WrapConn(conn)
 	}
 	return &wire{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}, false, nil
 }
@@ -255,6 +272,13 @@ func (c *Client) roundTrip(ctx context.Context, line string, idempotent, multi b
 		lines, _, err = c.attempt(ctx, line, multi)
 	}
 	if err != nil {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// The caller abandoned the request (a hedged duplicate won, or
+			// the client went away): that says nothing about the shard's
+			// health, so the breaker stays out of it. Deadline expiry still
+			// counts below — a shard too slow to answer is a sick shard.
+			return nil, err
+		}
 		c.failure()
 		return nil, err
 	}

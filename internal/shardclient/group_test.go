@@ -1,0 +1,198 @@
+package shardclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"histcube/internal/fault"
+)
+
+// slowShard answers QRY with its own value after an optional delay —
+// distinct values let hedging tests see which member won.
+type slowShard struct {
+	ln    net.Listener
+	reply string
+	delay time.Duration
+	hits  atomic.Int64
+}
+
+func startSlowShard(t *testing.T, reply string, delay time.Duration) *slowShard {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &slowShard{ln: ln, reply: reply, delay: delay}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					s.hits.Add(1)
+					if s.delay > 0 {
+						time.Sleep(s.delay)
+					}
+					c.Write([]byte(s.reply + "\n"))
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *slowShard) addr() string { return s.ln.Addr().String() }
+
+func TestGroupHedgesSlowMember(t *testing.T) {
+	slow := startSlowShard(t, "1", 2*time.Second)
+	fast := startSlowShard(t, "2", 0)
+	g := NewGroup([]string{slow.addr(), fast.addr()}, 30*time.Millisecond, Options{OpTimeout: 5 * time.Second})
+	t.Cleanup(g.Close)
+	// Pin the round-robin cursor so the slow member is attempted first.
+	for int(g.rr.Load())%g.Len() != 0 {
+		g.rr.Add(1)
+	}
+	start := time.Now()
+	resp, err := g.Read(context.Background(), "QRY 0 0 1 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "2" {
+		t.Fatalf("got %q, want the hedge's answer", resp)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hedged read took %v — waited out the slow member", d)
+	}
+	if g.Hedged() != 1 {
+		t.Fatalf("hedged count = %d, want 1", g.Hedged())
+	}
+}
+
+func TestGroupReadFailsOverToReplicaImmediately(t *testing.T) {
+	up := startSlowShard(t, "7", 0)
+	g := NewGroup([]string{"127.0.0.1:1", up.addr()}, 0, Options{
+		DialTimeout: 200 * time.Millisecond, OpTimeout: time.Second,
+	})
+	t.Cleanup(g.Close)
+	for int(g.rr.Load())%g.Len() != 0 {
+		g.rr.Add(1)
+	}
+	resp, err := g.Read(context.Background(), "QRY 0 0 1 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "7" {
+		t.Fatalf("got %q, want the replica's answer", resp)
+	}
+}
+
+func TestGroupAllMembersDown(t *testing.T) {
+	g := NewGroup([]string{"127.0.0.1:1", "127.0.0.1:1"}, 0, Options{
+		DialTimeout: 100 * time.Millisecond, OpTimeout: 500 * time.Millisecond,
+	})
+	t.Cleanup(g.Close)
+	if _, err := g.Read(context.Background(), "QRY 0 0 1 1"); err == nil {
+		t.Fatal("read with every member down succeeded")
+	}
+}
+
+func TestGroupWritePinsToPrimary(t *testing.T) {
+	a := startSlowShard(t, "OK a", 0)
+	b := startSlowShard(t, "OK b", 0)
+	g := NewGroup([]string{a.addr(), b.addr()}, 0, Options{OpTimeout: time.Second})
+	t.Cleanup(g.Close)
+	for i := 0; i < 5; i++ {
+		resp, err := g.Write(context.Background(), "INS 1 0 0 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp != "OK a" {
+			t.Fatalf("write %d reached %q, want the primary", i, resp)
+		}
+	}
+	g.SetPrimary(1)
+	resp, err := g.Write(context.Background(), "INS 1 0 0 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "OK b" {
+		t.Fatalf("write after SetPrimary reached %q", resp)
+	}
+	if g.PrimaryIndex() != 1 {
+		t.Fatalf("PrimaryIndex = %d", g.PrimaryIndex())
+	}
+}
+
+func TestGroupHedgeLoserDoesNotFeedBreaker(t *testing.T) {
+	slow := startSlowShard(t, "1", 300*time.Millisecond)
+	fast := startSlowShard(t, "2", 0)
+	g := NewGroup([]string{slow.addr(), fast.addr()}, 10*time.Millisecond, Options{
+		OpTimeout: 5 * time.Second, BreakerThreshold: 2,
+	})
+	t.Cleanup(g.Close)
+	for int(g.rr.Load())%g.Len() != 0 {
+		g.rr.Add(1)
+	}
+	// Several hedged reads where the slow member always loses and gets
+	// canceled: its breaker must stay closed — cancellation is not a
+	// shard failure.
+	for i := 0; i < 4; i++ {
+		for int(g.rr.Load())%g.Len() != 0 {
+			g.rr.Add(1)
+		}
+		if _, err := g.Read(context.Background(), "QRY 0 0 1 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.Member(0).Healthy() {
+		t.Fatal("losing hedges opened the slow member's breaker")
+	}
+}
+
+func TestClientConnFaultHooks(t *testing.T) {
+	up := startSlowShard(t, "5", 0)
+
+	// DialFault: injected dial failures surface like dial errors.
+	inj := fault.MustParse("proxy0.dial:err@1", 1)
+	c := New(up.addr(), Options{
+		OpTimeout: time.Second,
+		DialFault: func() error {
+			out := inj.Check("proxy0.dial")
+			return out.Err
+		},
+	})
+	t.Cleanup(c.Close)
+	if _, err := c.Do(context.Background(), "QRY 0 0 1 1", true); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected dial fault: %v", err)
+	}
+	if resp, err := c.Do(context.Background(), "QRY 0 0 1 1", true); err != nil || resp != "5" {
+		t.Fatalf("after fault healed: %q %v", resp, err)
+	}
+
+	// WrapConn drop: the read sees the injected teardown; the next
+	// request dials afresh and succeeds.
+	inj2 := fault.MustParse("proxy0.conn.read:drop@1", 1)
+	c2 := New(up.addr(), Options{
+		OpTimeout: time.Second,
+		WrapConn:  func(nc net.Conn) net.Conn { return inj2.WrapConn("proxy0.conn", nc) },
+	})
+	t.Cleanup(c2.Close)
+	if _, err := c2.Do(context.Background(), "QRY 0 0 1 1", false); err == nil ||
+		!strings.Contains(err.Error(), "injected") {
+		t.Fatalf("injected conn drop: %v", err)
+	}
+	if resp, err := c2.Do(context.Background(), "QRY 0 0 1 1", true); err != nil || resp != "5" {
+		t.Fatalf("after drop: %q %v", resp, err)
+	}
+}

@@ -185,7 +185,7 @@ func Recover(dir string, opts Options, newCube func() (*core.Cube, error)) (*cor
 	// definition, so the opening position doubles as the durable
 	// baseline (durableBytes/durableLSN).
 	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1, durableLSN: lastLSN,
-		ckptLSN: res.CheckpointLSN, segCount: len(segs)}
+		shippedLSN: lastLSN, ckptLSN: res.CheckpointLSN, segCount: len(segs)}
 	if ckptAt != 0 {
 		l.ckptNano.Store(ckptAt)
 	}

@@ -1,0 +1,313 @@
+package wal
+
+// Streaming reader for replication (the primary side of WAL shipping).
+//
+// A Stream is a cursor over the log's record sequence: catch-up reads
+// come from an in-memory ring of recently appended records or, when
+// the follower is further behind, from the on-disk segments; once the
+// cursor reaches the shipping frontier it blocks on an append-signalled
+// channel, so a caught-up follower receives each record with no
+// polling. The paper's append-only contract (Sec. 2.2 — cube state is
+// a deterministic function of the linear op stream) is what makes this
+// sufficient: shipping the op stream IS shipping the state.
+//
+// Shipping frontier: only records whose Append returned success are
+// ever shipped. Under SyncAlways a successful Append implies a
+// successful fsync, and the fsync-failure repair path
+// (reopenAfterSyncFailureLocked) only ever rolls back records whose
+// Append FAILED — so a shipped record can never be rolled back and its
+// LSN can never be reused for a different op. An acked write is
+// durable and shippable; an unacked write is neither.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"histcube/internal/core"
+)
+
+// ErrTruncated reports that the requested position precedes the oldest
+// record still on disk: checkpointing pruned the segments behind it,
+// so the subscriber must bootstrap from a snapshot instead.
+var ErrTruncated = errors.New("wal: requested LSN precedes the oldest retained record (bootstrap from a snapshot)")
+
+// ErrFutureLSN reports a subscription beyond the log's end — the
+// subscriber claims to hold records this log never appended, which on
+// a replication link means the follower diverged from this primary.
+var ErrFutureLSN = errors.New("wal: requested LSN is beyond the end of the log (follower ahead of primary)")
+
+// ringSize is the capacity of the recent-record ring serving catch-up
+// reads without touching disk; a power of two so lsn%ringSize is cheap.
+const ringSize = 1024
+
+// streamRec is one ring slot; lsn disambiguates stale slots after the
+// ring wraps.
+type streamRec struct {
+	lsn uint64
+	op  core.Op
+}
+
+// StreamRecord is one shipped record with its LSN.
+type StreamRecord struct {
+	LSN uint64
+	Op  core.Op
+}
+
+// ringPutLocked records a freshly shipped record in the ring. The
+// caller holds mu. Coords are copied: the ring outlives the request
+// that owned the slice.
+func (l *Log) ringPutLocked(lsn uint64, op core.Op) {
+	if l.ring == nil {
+		l.ring = make([]streamRec, ringSize)
+	}
+	cp := op
+	cp.Coords = append([]int(nil), op.Coords...)
+	l.ring[lsn%ringSize] = streamRec{lsn: lsn, op: cp}
+}
+
+// ringGetLocked serves one record from the ring, if it still holds the
+// requested LSN. The caller holds mu.
+func (l *Log) ringGetLocked(lsn uint64) (core.Op, bool) {
+	if l.ring == nil {
+		return core.Op{}, false
+	}
+	e := l.ring[lsn%ringSize]
+	if e.lsn != lsn {
+		return core.Op{}, false
+	}
+	return e.op, true
+}
+
+// notifyWaitersLocked wakes every blocked Stream. The caller holds mu.
+func (l *Log) notifyWaitersLocked() {
+	for _, ch := range l.waiters {
+		close(ch)
+	}
+	l.waiters = nil
+}
+
+// ShippedLSN returns the shipping frontier: the newest LSN a Stream
+// may deliver (the last successfully acknowledged append).
+func (l *Log) ShippedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shippedLSN
+}
+
+// OldestLSN returns the LSN of the oldest record still readable from
+// the retained segments (nextLSN when the log holds no records — a
+// fresh directory, or everything checkpointed and pruned). A follower
+// must subscribe at or above it, or bootstrap from a snapshot.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.oldestLSNLocked()
+}
+
+func (l *Log) oldestLSNLocked() uint64 {
+	segs, err := listSegments(l.dir)
+	if err != nil || len(segs) == 0 {
+		return l.nextLSN
+	}
+	return segs[0].seq
+}
+
+// Stream is a subscription cursor positioned before one LSN. Not safe
+// for concurrent use; one replication connection owns one Stream.
+type Stream struct {
+	log  *Log
+	next uint64
+	buf  []StreamRecord // disk catch-up read-ahead
+}
+
+// SubscribeFrom opens a Stream whose first record will be LSN from.
+// It fails with ErrTruncated when from precedes the oldest retained
+// record (the subscriber needs a snapshot first) and with ErrFutureLSN
+// when from is beyond the next LSN this log will assign.
+func (l *Log) SubscribeFrom(from uint64) (*Stream, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if from == 0 {
+		from = 1
+	}
+	if oldest := l.oldestLSNLocked(); from < oldest {
+		return nil, fmt.Errorf("%w: want LSN %d, oldest retained is %d", ErrTruncated, from, oldest)
+	}
+	if from > l.shippedLSN+1 {
+		return nil, fmt.Errorf("%w: want LSN %d, log ends at %d", ErrFutureLSN, from, l.shippedLSN)
+	}
+	return &Stream{log: l, next: from}, nil
+}
+
+// Next returns the record at the cursor, blocking until one is
+// shippable, the ctx ends, or the log closes. Callers that need a
+// keepalive cadence wrap ctx with a timeout per call.
+func (s *Stream) Next(ctx context.Context) (StreamRecord, error) {
+	emptyFills := 0
+	for {
+		if len(s.buf) > 0 {
+			rec := s.buf[0]
+			s.buf = s.buf[1:]
+			s.next = rec.LSN + 1
+			return rec, nil
+		}
+		l := s.log
+		l.mu.Lock()
+		if s.next <= l.shippedLSN {
+			if op, ok := l.ringGetLocked(s.next); ok {
+				rec := StreamRecord{LSN: s.next, Op: op}
+				s.next++
+				l.mu.Unlock()
+				return rec, nil
+			}
+			shipped := l.shippedLSN
+			l.mu.Unlock()
+			n, err := s.fillFromDisk(shipped)
+			if err != nil {
+				return StreamRecord{}, err
+			}
+			if n == 0 {
+				// A checkpoint pruning segments under the read; re-resolve.
+				if emptyFills++; emptyFills > 5 {
+					return StreamRecord{}, fmt.Errorf("wal: stream stuck reading LSN %d", s.next)
+				}
+			}
+			continue
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return StreamRecord{}, ErrClosed
+		}
+		ch := make(chan struct{})
+		l.waiters = append(l.waiters, ch)
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			l.mu.Lock()
+			for i, w := range l.waiters {
+				if w == ch {
+					l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+					break
+				}
+			}
+			l.mu.Unlock()
+			return StreamRecord{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// fillFromDisk reads the segment containing the cursor and buffers
+// every record in [s.next, shipped] it holds. Reads run without mu —
+// segments are append-only and readSegment tolerates a torn tail, so
+// the only race is pruning, which surfaces as ENOENT and is retried by
+// the caller (or reported as ErrTruncated when the cursor really fell
+// behind the retention horizon).
+func (s *Stream) fillFromDisk(shipped uint64) (int, error) {
+	segs, err := listSegments(s.log.dir)
+	if err != nil {
+		return 0, err
+	}
+	idx := -1
+	for i, sg := range segs {
+		if sg.seq <= s.next {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("%w: want LSN %d", ErrTruncated, s.next)
+	}
+	first, ops, _, _, err := readSegment(segs[idx].path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			if oldest := s.log.OldestLSN(); s.next < oldest {
+				return 0, fmt.Errorf("%w: want LSN %d, oldest retained is %d", ErrTruncated, s.next, oldest)
+			}
+			return 0, nil // pruned mid-read but the cursor is still covered; retry
+		}
+		return 0, err
+	}
+	for j, op := range ops {
+		lsn := first + uint64(j)
+		if lsn < s.next || lsn > shipped {
+			continue
+		}
+		s.buf = append(s.buf, StreamRecord{LSN: lsn, Op: op})
+	}
+	return len(s.buf), nil
+}
+
+// InstallCheckpoint writes a snapshot (core.Save bytes from r) into dir
+// as the checkpoint covering lsn — the follower side of snapshot
+// bootstrap: a replica whose position fell behind the primary's
+// retention horizon installs the shipped snapshot, then re-runs Recover
+// so its cube and log positions align with the primary's LSNs. Segments
+// whose records are all covered by the installed checkpoint are
+// removed; without that, recovery would continue an old segment whose
+// implicit record LSNs (firstLSN + index) no longer match the log
+// position, silently mis-numbering every later append. The caller must
+// not hold the directory's Log open.
+func InstallCheckpoint(dir string, lsn uint64, r io.Reader) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "checkpoint.install.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(f, r)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptName(lsn))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, sg := range segs {
+		var end uint64
+		if i+1 < len(segs) {
+			end = segs[i+1].seq - 1
+		} else {
+			first, ops, _, _, rerr := readSegment(sg.path)
+			if rerr != nil {
+				break // unreadable tail segment: leave it for Recover to judge
+			}
+			end = first + uint64(len(ops)) - 1
+			if len(ops) == 0 {
+				end = first - 1
+			}
+		}
+		if end > lsn {
+			break // segments ascend; the first survivor ends the removable prefix
+		}
+		if err := os.Remove(sg.path); err != nil {
+			return err
+		}
+	}
+	return syncDir(dir)
+}

@@ -174,6 +174,15 @@ type Log struct {
 	durableLSN   uint64
 	syncFailed   error
 
+	// Replication state (see stream.go). shippedLSN is the shipping
+	// frontier: the last LSN whose Append returned success, so the last
+	// LSN a Stream may deliver. ring caches recently appended records
+	// for catch-up reads; waiters holds channels closed on the next
+	// successful append to wake blocked Streams. All guarded by mu.
+	shippedLSN uint64
+	ring       []streamRec
+	waiters    []chan struct{}
+
 	ckptNano atomic.Int64 // wall time of the last checkpoint, 0 before
 
 	// bytesAppended counts record bytes appended since the log was
@@ -344,6 +353,11 @@ func (l *Log) Append(op core.Op) (uint64, error) {
 			return 0, err
 		}
 	}
+	// The append is being acknowledged: it becomes shippable exactly now
+	// (see stream.go for why a shipped LSN can never be rolled back).
+	l.shippedLSN = lsn
+	l.ringPutLocked(lsn, op)
+	l.notifyWaitersLocked()
 	return lsn, nil
 }
 
@@ -510,6 +524,7 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.closed = true
+	l.notifyWaitersLocked() // blocked Streams wake and observe closed
 	return err
 }
 
@@ -545,18 +560,47 @@ func (l *Log) Segments() int {
 // age of the last checkpoint (-1 before the first). The gauge
 // callbacks take the log's mutex at scrape time.
 func (l *Log) RegisterStateMetrics(reg *obs.Registry) {
+	RegisterStateMetricsFunc(reg, func() *Log { return l })
+}
+
+// RegisterStateMetricsFunc is RegisterStateMetrics reading the log
+// through get at every scrape, for callers that replace their log at
+// runtime (a replica re-recovering after installing a shipped
+// snapshot) — the gauges follow the swap instead of pinning the first
+// log. get may return nil; the gauges then report zeros (and -1 for
+// the checkpoint age).
+func RegisterStateMetricsFunc(reg *obs.Registry, get func() *Log) {
 	reg.NewGaugeFunc("histcube_wal_segments",
 		"WAL segment files on disk, including the active one.",
-		func() float64 { return float64(l.Segments()) })
+		func() float64 {
+			if l := get(); l != nil {
+				return float64(l.Segments())
+			}
+			return 0
+		})
 	reg.NewGaugeFunc("histcube_wal_last_lsn",
 		"LSN of the most recently appended WAL record.",
-		func() float64 { return float64(l.LastLSN()) })
+		func() float64 {
+			if l := get(); l != nil {
+				return float64(l.LastLSN())
+			}
+			return 0
+		})
 	reg.NewGaugeFunc("histcube_wal_records_since_checkpoint",
 		"Records appended since the last checkpoint.",
-		func() float64 { return float64(l.SinceCheckpoint()) })
+		func() float64 {
+			if l := get(); l != nil {
+				return float64(l.SinceCheckpoint())
+			}
+			return 0
+		})
 	reg.NewGaugeFunc("histcube_wal_checkpoint_age_seconds",
 		"Seconds since the last checkpoint completed; -1 before the first.",
 		func() float64 {
+			l := get()
+			if l == nil {
+				return -1
+			}
 			ns := l.ckptNano.Load()
 			if ns == 0 {
 				return -1
